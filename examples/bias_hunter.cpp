@@ -1,0 +1,87 @@
+// bias_hunter: a miniature version of the paper's Sect. 3 pipeline.
+// Generates keystream statistics over random RC4 keys, then runs the
+// hypothesis-test battery (chi-squared uniformity per position, Fuchs-Kenett
+// M-test for pair dependence, per-cell proportion tests, Holm correction)
+// and prints every bias it can certify at alpha = 1e-4.
+//
+// Build & run:  ./build/examples/bias_hunter [--keys N] [--positions P]
+#include <cstdio>
+
+#include "src/biases/bias_scan.h"
+#include "src/biases/dataset.h"
+#include "src/common/flags.h"
+
+using namespace rc4b;
+
+int main(int argc, char** argv) {
+  FlagSet flags("Empirical RC4 bias hunt (Sect. 3 of the paper, scaled down)");
+  flags.Define("keys", "0x800000", "random 128-bit RC4 keys to sample (2^23)")
+      .Define("positions", "8", "initial keystream positions to scan")
+      .Define("workers", "0", "worker threads (0 = all cores)")
+      .Define("seed", "1337", "dataset seed");
+  if (!flags.Parse(argc, argv)) {
+    return 0;
+  }
+
+  DatasetOptions options;
+  options.keys = flags.GetUint("keys");
+  options.workers = static_cast<unsigned>(flags.GetUint("workers"));
+  options.seed = flags.GetUint("seed");
+  const size_t positions = flags.GetUint("positions");
+
+  std::printf("sampling %llu keys, positions 1..%zu...\n",
+              static_cast<unsigned long long>(options.keys), positions + 1);
+  const auto digraphs = GenerateConsecutiveDataset(positions, options);
+
+  // Single-byte uniformity scan (aggregating the digraph grid, formula 6).
+  std::printf("\n-- single-byte uniformity (chi-squared + Holm) --\n");
+  SingleByteGrid singles(positions);
+  for (size_t pos = 0; pos < positions; ++pos) {
+    for (int v = 0; v < 256; ++v) {
+      uint64_t marginal = 0;
+      for (int y = 0; y < 256; ++y) {
+        marginal += digraphs.Count(pos, static_cast<uint8_t>(v),
+                                   static_cast<uint8_t>(y));
+      }
+      singles.Add(pos, static_cast<uint8_t>(v), marginal);
+    }
+  }
+  singles.AddKeys(digraphs.keys());
+  for (const auto& result : ScanSingleBytes(singles)) {
+    std::printf("  Z%-3zu chi2 = %9.1f  p_holm = %-10.3g %s\n", result.position,
+                result.statistic, result.p_adjusted,
+                result.biased ? "<-- BIASED" : "");
+  }
+
+  // Pair dependence scan.
+  std::printf("\n-- consecutive-pair dependence (M-test + Holm) --\n");
+  const auto dependence = ScanPairDependence(digraphs);
+  for (const auto& result : dependence) {
+    std::printf("  (Z%zu,Z%zu) M = %5.2f  p_holm = %-10.3g %s\n", result.row + 1,
+                result.row + 2, result.m_statistic, result.p_adjusted,
+                result.dependent ? "<-- DEPENDENT" : "");
+  }
+
+  // For dependent pairs, pinpoint the biased cells.
+  std::printf("\n-- certified biased value pairs (proportion tests + Holm) --\n");
+  bool any = false;
+  for (const auto& result : dependence) {
+    if (!result.dependent) {
+      continue;
+    }
+    for (const auto& cell : FindBiasedCells(digraphs, result.row)) {
+      std::printf("  Pr[Z%zu=%3d, Z%zu=%3d] = %.3e  (indep: %.3e, rel. bias "
+                  "%+6.1f%%, p=%.2g)\n",
+                  result.row + 1, cell.v1, result.row + 2, cell.v2,
+                  cell.pair_probability, cell.expected_probability,
+                  100.0 * cell.relative_bias, cell.p_value);
+      any = true;
+    }
+  }
+  if (!any) {
+    std::printf("  (none at this sample size -- try --keys 0x4000000)\n");
+  }
+  std::printf("\nAt paper scale (2^44-2^47 keys on a cluster) this pipeline is "
+              "what surfaced the Table 2 / Fig. 5 biases.\n");
+  return 0;
+}

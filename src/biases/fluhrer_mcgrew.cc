@@ -1,0 +1,95 @@
+#include "src/biases/fluhrer_mcgrew.h"
+
+#include <cmath>
+
+namespace rc4b {
+
+namespace {
+
+constexpr double kQ7 = 0x1.0p-7;   // relative bias 2^-7
+constexpr double kQ8 = 0x1.0p-8;   // relative bias 2^-8
+
+}  // namespace
+
+std::vector<FmDigraph> FmDigraphsAt(uint8_t i, uint64_t r) {
+  std::vector<FmDigraph> out;
+  const auto add = [&out](uint8_t v1, uint8_t v2, double q, const char* name) {
+    out.push_back(FmDigraph{v1, v2, q, name});
+  };
+  const uint8_t ip1 = static_cast<uint8_t>(i + 1);
+  const uint8_t ip2 = static_cast<uint8_t>(i + 2);
+
+  // Table 1 of the paper, including the generalized position conditions on r
+  // that govern the initial-keystream exceptions.
+  if (i == 1) {
+    add(0, 0, kQ7, "(0,0) i=1");
+  } else if (i != 255) {
+    add(0, 0, kQ8, "(0,0)");
+  }
+  if (i != 0 && i != 1) {
+    add(0, 1, kQ8, "(0,1)");
+  }
+  if (i != 0 && i != 255) {
+    add(0, ip1, -kQ8, "(0,i+1)");
+  }
+  if (i != 254 && r != 1) {
+    add(ip1, 255, kQ8, "(i+1,255)");
+  }
+  if (i == 2 && r != 2) {
+    add(129, 129, kQ8, "(129,129)");
+  }
+  if (i != 1 && i != 254) {
+    add(255, ip1, kQ8, "(255,i+1)");
+  }
+  if (i >= 1 && i <= 252 && r != 2) {
+    add(255, ip2, kQ8, "(255,i+2)");
+  }
+  if (i == 254) {
+    add(255, 0, kQ8, "(255,0)");
+  }
+  if (i == 255) {
+    add(255, 1, kQ8, "(255,1)");
+  }
+  if (i == 0 || i == 1) {
+    add(255, 2, kQ8, "(255,2)");
+  }
+  if (i != 254 && r != 5) {
+    add(255, 255, -kQ8, "(255,255)");
+  }
+  return out;
+}
+
+std::vector<double> FmDigraphTable(uint8_t i, uint64_t r) {
+  std::vector<double> table(65536, 0x1.0p-16);
+  for (const FmDigraph& d : FmDigraphsAt(i, r)) {
+    // Several Table 1 rows can land on the same cell for particular i (e.g.
+    // (0,i+1) and (0,1) at i=0); combine them multiplicatively.
+    table[static_cast<size_t>(d.v1) * 256 + d.v2] *= 1.0 + d.relative_bias;
+  }
+  double sum = 0.0;
+  for (double p : table) {
+    sum += p;
+  }
+  for (double& p : table) {
+    p /= sum;
+  }
+  return table;
+}
+
+SparseDigraphModel FmSparseModel(uint8_t i, uint64_t r) {
+  const auto table = FmDigraphTable(i, r);
+  SparseDigraphModel model;
+  // After normalization the unbiased cells share one common value; pick it
+  // from a cell no Table 1 row ever touches: (1, 0) is never biased (v1=1
+  // rows require i=0 via (i+1,255)... which has v2=255, and (129,129),
+  // (255,*), (0,*) have different v1), except i=0's (i+1,255)=(1,255).
+  model.unbiased_probability = table[static_cast<size_t>(1) * 256 + 0];
+  for (size_t cell = 0; cell < table.size(); ++cell) {
+    if (std::fabs(table[cell] / model.unbiased_probability - 1.0) > 1e-9) {
+      model.biased_cells.emplace_back(static_cast<uint16_t>(cell), table[cell]);
+    }
+  }
+  return model;
+}
+
+}  // namespace rc4b

@@ -1,0 +1,51 @@
+// Analytic model of the (generalized) Fluhrer–McGrew digraph biases —
+// Table 1 of the paper. Each digraph (v1, v2) is biased at PRGA counter i
+// under side conditions on i and, in the initial keystream, on the byte
+// position r of the first digraph byte.
+//
+// The long-term table (r large) is what the TLS attack's double-byte
+// likelihoods consume; the r conditions encode the short-term exceptions the
+// paper reports at positions 1, 2 and 5 (Sect. 3.3.1).
+#ifndef SRC_BIASES_FLUHRER_MCGREW_H_
+#define SRC_BIASES_FLUHRER_MCGREW_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rc4b {
+
+struct FmDigraph {
+  uint8_t v1 = 0;
+  uint8_t v2 = 0;
+  // Relative bias q: Pr[(Z_r, Z_{r+1}) = (v1, v2)] = 2^-16 (1 + q).
+  double relative_bias = 0.0;
+  const char* name = "";
+};
+
+// Biased digraphs at PRGA counter `i` for a digraph whose first byte is
+// output at (1-based) position `r`. Pass a large r (e.g. 1 << 20) for the
+// long-term regime.
+std::vector<FmDigraph> FmDigraphsAt(uint8_t i, uint64_t r);
+
+// Full 65536-entry probability table Pr[(Z_r, Z_{r+1}) = (v1, v2)] indexed by
+// v1 * 256 + v2, normalized to sum to one.
+std::vector<double> FmDigraphTable(uint8_t i, uint64_t r);
+
+// Sparse form consumed by the optimized likelihood of formula (15): the
+// probability u of an unbiased pair plus the list of (cell, probability)
+// entries that deviate from u.
+struct SparseDigraphModel {
+  double unbiased_probability = 0.0;
+  std::vector<std::pair<uint16_t, double>> biased_cells;
+};
+SparseDigraphModel FmSparseModel(uint8_t i, uint64_t r);
+
+// PRGA counter when the byte at 1-based keystream position r is output.
+inline uint8_t PrgaCounterAtPosition(uint64_t r) {
+  return static_cast<uint8_t>(r & 0xff);
+}
+
+}  // namespace rc4b
+
+#endif  // SRC_BIASES_FLUHRER_MCGREW_H_

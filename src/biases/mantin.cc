@@ -1,0 +1,21 @@
+#include "src/biases/mantin.h"
+
+#include <cmath>
+
+namespace rc4b {
+
+double AbsabRelativeBias(uint64_t gap) {
+  return 0x1.0p-8 * std::exp((-4.0 - 8.0 * static_cast<double>(gap)) / 256.0);
+}
+
+double AbsabAlpha(uint64_t gap) {
+  return 0x1.0p-16 * (1.0 + AbsabRelativeBias(gap));
+}
+
+double AbsabLogOdds(uint64_t gap) {
+  const double alpha = AbsabAlpha(gap);
+  const double other = (1.0 - alpha) / 65535.0;
+  return std::log(alpha) - std::log(other);
+}
+
+}  // namespace rc4b

@@ -1,0 +1,28 @@
+// Mantin's long-term ABSAB digraph-repetition bias (Sect. 2.1.2, formula 1):
+// a digraph (Z_r, Z_{r+1}) tends to reappear g+2 positions later, i.e.
+//   Pr[(Z_r, Z_{r+1}) = (Z_{r+g+2}, Z_{r+g+3})] = 2^-16 (1 + 2^-8 e^{(-4-8g)/256}).
+//
+// The TLS attack turns this into a likelihood over the XOR-differential
+// between unknown plaintext and injected known plaintext (Sect. 4.2).
+#ifndef SRC_BIASES_MANTIN_H_
+#define SRC_BIASES_MANTIN_H_
+
+#include <cstdint>
+
+namespace rc4b {
+
+// Probability alpha(g) that the ciphertext differential equals the plaintext
+// differential for gap g (formula 18/19).
+double AbsabAlpha(uint64_t gap);
+
+// Relative strength of the bias: alpha(g) = 2^-16 (1 + AbsabRelativeBias(g)).
+double AbsabRelativeBias(uint64_t gap);
+
+// Log-likelihood-ratio weight of one matching differential observation:
+// log(alpha) - log((1 - alpha) / 65535). Used when aggregating counts across
+// gaps into a single per-differential score.
+double AbsabLogOdds(uint64_t gap);
+
+}  // namespace rc4b
+
+#endif  // SRC_BIASES_MANTIN_H_

@@ -1,0 +1,54 @@
+#include "src/common/alias.h"
+
+#include <cassert>
+
+namespace rc4b {
+
+void AliasTable::Build(std::span<const double> weights) {
+  const size_t n = weights.size();
+  assert(n > 0);
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scale weights so the average is 1, then pair underfull and overfull
+  // slots (Vose's stable partitioning).
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (uint32_t i : large) {
+    probability_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (uint32_t i : small) {
+    probability_[i] = 1.0;  // numerical leftovers
+    alias_[i] = i;
+  }
+}
+
+}  // namespace rc4b

@@ -1,0 +1,43 @@
+// Walker/Vose alias method: O(1) sampling from a fixed discrete distribution
+// after O(n) setup. Used to draw keystream bytes from empirical per-TSC
+// models in the TKIP simulation harness.
+#ifndef SRC_COMMON_ALIAS_H_
+#define SRC_COMMON_ALIAS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace rc4b {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  // `weights` need not be normalized; must be non-negative with positive sum.
+  explicit AliasTable(std::span<const double> weights) { Build(weights); }
+
+  void Build(std::span<const double> weights);
+
+  // Draws an index with probability proportional to its weight.
+  uint32_t Sample(Xoshiro256& rng) const {
+    const uint64_t r = rng();
+    const uint32_t slot = static_cast<uint32_t>(
+        (static_cast<unsigned __int128>(r) * probability_.size()) >> 64);
+    // Use independent low bits for the coin flip.
+    const double coin = static_cast<double>(rng() >> 11) * 0x1.0p-53;
+    return coin < probability_[slot] ? slot : alias_[slot];
+  }
+
+  size_t size() const { return probability_.size(); }
+
+ private:
+  std::vector<double> probability_;  // acceptance probability per slot
+  std::vector<uint32_t> alias_;      // fallback index per slot
+};
+
+}  // namespace rc4b
+
+#endif  // SRC_COMMON_ALIAS_H_

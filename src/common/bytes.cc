@@ -1,0 +1,62 @@
+#include "src/common/bytes.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace rc4b {
+
+namespace {
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string ToHex(std::span<const uint8_t> data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+Bytes FromHex(std::string_view hex) {
+  assert(hex.size() % 2 == 0);
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i + 1 < hex.size(); i += 2) {
+    int hi = HexNibble(hex[i]);
+    int lo = HexNibble(hex[i + 1]);
+    assert(hi >= 0 && lo >= 0);
+    out.push_back(static_cast<uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+Bytes FromString(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+Bytes Xor(std::span<const uint8_t> a, std::span<const uint8_t> b) {
+  assert(a.size() == b.size());
+  Bytes out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return out;
+}
+
+}  // namespace rc4b

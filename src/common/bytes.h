@@ -1,0 +1,78 @@
+// Byte-buffer helpers shared by every module: hex (de)serialization, XOR, and
+// little/big-endian integer packing used by the crypto and network substrates.
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rc4b {
+
+using Bytes = std::vector<uint8_t>;
+
+// Encodes `data` as a lowercase hex string ("deadbeef").
+std::string ToHex(std::span<const uint8_t> data);
+
+// Decodes a hex string; both cases accepted. Aborts on malformed input
+// (test/tooling helper, not an untrusted-input parser).
+Bytes FromHex(std::string_view hex);
+
+// Returns a byte vector holding the ASCII contents of `text`.
+Bytes FromString(std::string_view text);
+
+// XORs `a` and `b` element-wise. Requires equal sizes.
+Bytes Xor(std::span<const uint8_t> a, std::span<const uint8_t> b);
+
+// Little-endian packing -------------------------------------------------------
+
+inline uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+inline void StoreLe32(uint32_t v, uint8_t* p) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+// Big-endian packing ----------------------------------------------------------
+
+inline uint16_t LoadBe16(const uint8_t* p) {
+  return static_cast<uint16_t>(static_cast<uint16_t>(p[0]) << 8 | p[1]);
+}
+
+inline void StoreBe16(uint16_t v, uint8_t* p) {
+  p[0] = static_cast<uint8_t>(v >> 8);
+  p[1] = static_cast<uint8_t>(v);
+}
+
+inline uint32_t LoadBe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) << 24 | static_cast<uint32_t>(p[1]) << 16 |
+         static_cast<uint32_t>(p[2]) << 8 | static_cast<uint32_t>(p[3]);
+}
+
+inline void StoreBe32(uint32_t v, uint8_t* p) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+inline void StoreBe64(uint64_t v, uint8_t* p) {
+  StoreBe32(static_cast<uint32_t>(v >> 32), p);
+  StoreBe32(static_cast<uint32_t>(v), p + 4);
+}
+
+inline uint32_t Rotl32(uint32_t x, int s) { return (x << s) | (x >> (32 - s)); }
+inline uint32_t Rotr32(uint32_t x, int s) { return (x >> s) | (x << (32 - s)); }
+inline uint64_t Rotl64(uint64_t x, int s) { return (x << s) | (x >> (64 - s)); }
+
+}  // namespace rc4b
+
+#endif  // SRC_COMMON_BYTES_H_

@@ -1,0 +1,46 @@
+// Tiny command-line flag parser for example binaries and benchmark harnesses.
+// Supports --name=value and --name value forms plus --help text generation.
+#ifndef SRC_COMMON_FLAGS_H_
+#define SRC_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rc4b {
+
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_description)
+      : description_(std::move(program_description)) {}
+
+  // Registers a flag with a default. Returns *this for chaining.
+  FlagSet& Define(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  // Parses argv. On "--help" prints usage and returns false; the caller should
+  // exit. Unknown flags abort with a message.
+  bool Parse(int argc, char** argv);
+
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  uint64_t GetUint(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string help;
+  };
+
+  void PrintUsage() const;
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace rc4b
+
+#endif  // SRC_COMMON_FLAGS_H_

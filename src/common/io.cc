@@ -1,0 +1,70 @@
+#include "src/common/io.h"
+
+namespace rc4b {
+
+BinaryWriter::BinaryWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void BinaryWriter::WriteU64(uint64_t v) {
+  if (file_ != nullptr) {
+    std::fwrite(&v, sizeof(v), 1, file_);
+  }
+}
+
+void BinaryWriter::WriteDoubles(std::span<const double> values) {
+  if (file_ != nullptr && !values.empty()) {
+    std::fwrite(values.data(), sizeof(double), values.size(), file_);
+  }
+}
+
+void BinaryWriter::WriteU64s(std::span<const uint64_t> values) {
+  if (file_ != nullptr && !values.empty()) {
+    std::fwrite(values.data(), sizeof(uint64_t), values.size(), file_);
+  }
+}
+
+BinaryReader::BinaryReader(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+}
+
+BinaryReader::~BinaryReader() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+uint64_t BinaryReader::ReadU64() {
+  uint64_t v = 0;
+  if (file_ == nullptr || std::fread(&v, sizeof(v), 1, file_) != 1) {
+    failed_ = true;
+    return 0;
+  }
+  return v;
+}
+
+bool BinaryReader::ReadDoubles(std::span<double> out) {
+  if (file_ == nullptr ||
+      std::fread(out.data(), sizeof(double), out.size(), file_) != out.size()) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool BinaryReader::ReadU64s(std::span<uint64_t> out) {
+  if (file_ == nullptr ||
+      std::fread(out.data(), sizeof(uint64_t), out.size(), file_) != out.size()) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rc4b

@@ -1,0 +1,57 @@
+// Minimal binary (de)serialization for datasets and models. Expensive
+// artifacts (per-TSC models, digraph grids) can be generated once and reused
+// across bench runs. Format: little-endian, magic + version header, raw
+// arrays; not portable across endianness (research tooling, not a wire
+// format).
+#ifndef SRC_COMMON_IO_H_
+#define SRC_COMMON_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rc4b {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+  ~BinaryWriter();
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  void WriteU64(uint64_t v);
+  void WriteDoubles(std::span<const double> values);
+  void WriteU64s(std::span<const uint64_t> values);
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+  ~BinaryReader();
+
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  // ok() turns false on the first failed read.
+  bool ok() const { return file_ != nullptr && !failed_; }
+
+  uint64_t ReadU64();
+  bool ReadDoubles(std::span<double> out);
+  bool ReadU64s(std::span<uint64_t> out);
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool failed_ = false;
+};
+
+}  // namespace rc4b
+
+#endif  // SRC_COMMON_IO_H_

@@ -1,0 +1,37 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace rc4b {
+
+double Xoshiro256::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * UnitDouble() - 1.0;
+    v = 2.0 * UnitDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double scale = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * scale;
+  has_cached_normal_ = true;
+  return u * scale;
+}
+
+void Xoshiro256::Fill(std::span<uint8_t> out) {
+  size_t i = 0;
+  while (i + 8 <= out.size()) {
+    uint64_t w = (*this)();
+    std::memcpy(out.data() + i, &w, 8);
+    i += 8;
+  }
+  if (i < out.size()) {
+    uint64_t w = (*this)();
+    std::memcpy(out.data() + i, &w, out.size() - i);
+  }
+}
+
+}  // namespace rc4b

@@ -1,0 +1,46 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+namespace rc4b {
+
+unsigned DefaultWorkerCount() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void ParallelFor(unsigned workers, const std::function<void(unsigned)>& fn) {
+  if (workers == 0) {
+    workers = DefaultWorkerCount();
+  }
+  if (workers == 1) {
+    fn(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    threads.emplace_back([&fn, w] { fn(w); });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+}
+
+void ParallelChunks(uint64_t total, unsigned workers,
+                    const std::function<void(unsigned, uint64_t, uint64_t)>& fn) {
+  if (workers == 0) {
+    workers = DefaultWorkerCount();
+  }
+  workers = static_cast<unsigned>(
+      std::min<uint64_t>(workers, std::max<uint64_t>(total, 1)));
+  ParallelFor(workers, [&](unsigned w) {
+    const uint64_t begin = total * w / workers;
+    const uint64_t end = total * (w + 1) / workers;
+    if (begin < end) {
+      fn(w, begin, end);
+    }
+  });
+}
+
+}  // namespace rc4b

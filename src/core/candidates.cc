@@ -1,0 +1,247 @@
+#include "src/core/candidates.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace rc4b {
+
+namespace {
+
+// Backpointer entry shared by both list algorithms.
+struct Entry {
+  double score;
+  uint8_t value;      // byte appended at this round
+  uint32_t prev;      // index into the previous round's entry list
+};
+
+// Heap node for merging sorted candidate streams: (previous-entry index,
+// value/stream identifier). Defined at namespace scope so std::priority_queue
+// can find operator< (hidden friends of function-local classes are not
+// visible to name lookup).
+struct StreamHeapNode {
+  double score;
+  uint32_t prev_index;
+  uint32_t stream;
+  friend bool operator<(const StreamHeapNode& a, const StreamHeapNode& b) {
+    return a.score < b.score;
+  }
+};
+
+std::vector<uint8_t> FullAlphabet() {
+  std::vector<uint8_t> a(256);
+  std::iota(a.begin(), a.end(), 0);
+  return a;
+}
+
+}  // namespace
+
+std::vector<Candidate> GenerateCandidatesSingle(const SingleByteTables& likelihoods,
+                                                size_t n) {
+  const size_t length = likelihoods.size();
+  assert(length > 0);
+
+  // rounds[r] holds the candidates of length r+1 in decreasing likelihood,
+  // as backpointer entries into rounds[r-1].
+  std::vector<std::vector<Entry>> rounds(length);
+
+  std::vector<Entry> previous{{0.0, 0, 0}};  // the empty prefix
+  for (size_t r = 0; r < length; ++r) {
+    assert(likelihoods[r].size() == 256);
+    // Sort byte values by their log-likelihood once; then merge the 256
+    // streams (previous candidate index, value rank) with a heap. This is
+    // Algorithm 1 with the per-value position pointers pos(mu) made explicit.
+    std::array<std::pair<double, uint8_t>, 256> sorted_values;
+    for (size_t mu = 0; mu < 256; ++mu) {
+      sorted_values[mu] = {likelihoods[r][mu], static_cast<uint8_t>(mu)};
+    }
+    std::sort(sorted_values.begin(), sorted_values.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+
+    std::priority_queue<StreamHeapNode> heap;
+    for (uint32_t vr = 0; vr < 256; ++vr) {
+      heap.push(StreamHeapNode{previous[0].score + sorted_values[vr].first, 0, vr});
+    }
+    std::vector<Entry>& current = rounds[r];
+    const size_t want = std::min<size_t>(n, previous.size() * 256);
+    while (current.size() < want && !heap.empty()) {
+      const StreamHeapNode top = heap.top();
+      heap.pop();
+      current.push_back(Entry{top.score, sorted_values[top.stream].second,
+                              top.prev_index});
+      if (top.prev_index + 1 < previous.size()) {
+        heap.push(StreamHeapNode{previous[top.prev_index + 1].score +
+                                     sorted_values[top.stream].first,
+                                 top.prev_index + 1, top.stream});
+      }
+    }
+    previous = current;
+  }
+
+  // Reconstruct plaintexts by walking backpointers.
+  std::vector<Candidate> out;
+  out.reserve(rounds.back().size());
+  for (size_t i = 0; i < rounds.back().size(); ++i) {
+    Candidate c;
+    c.log_likelihood = rounds.back()[i].score;
+    c.plaintext.resize(length);
+    uint32_t index = static_cast<uint32_t>(i);
+    for (size_t r = length; r-- > 0;) {
+      c.plaintext[r] = rounds[r][index].value;
+      index = rounds[r][index].prev;
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+LazyCandidateEnumerator::LazyCandidateEnumerator(const SingleByteTables& likelihoods)
+    : length_(likelihoods.size()) {
+  sorted_.resize(length_);
+  double best_score = 0.0;
+  for (size_t r = 0; r < length_; ++r) {
+    assert(likelihoods[r].size() == 256);
+    sorted_[r].resize(256);
+    for (size_t mu = 0; mu < 256; ++mu) {
+      sorted_[r][mu] = {likelihoods[r][mu], static_cast<uint8_t>(mu)};
+    }
+    std::sort(sorted_[r].begin(), sorted_[r].end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    best_score += sorted_[r][0].first;
+  }
+  heap_.push(Node{best_score, std::vector<uint8_t>(length_, 0)});
+}
+
+Candidate LazyCandidateEnumerator::Next() {
+  assert(!heap_.empty());
+  const Node top = heap_.top();
+  heap_.pop();
+  ++popped_;
+
+  // Successor rule: from a node, bump the rank at every position at or after
+  // the last non-zero rank position. This generates each rank vector exactly
+  // once (a vector's unique parent decrements its final non-zero rank).
+  size_t first_successor_pos = 0;
+  for (size_t r = 0; r < length_; ++r) {
+    if (top.ranks[r] != 0) {
+      first_successor_pos = r;
+    }
+  }
+  for (size_t r = first_successor_pos; r < length_; ++r) {
+    if (top.ranks[r] == 255) {
+      continue;
+    }
+    Node child = top;
+    child.score += sorted_[r][top.ranks[r] + 1].first - sorted_[r][top.ranks[r]].first;
+    ++child.ranks[r];
+    heap_.push(std::move(child));
+  }
+
+  Candidate c;
+  c.log_likelihood = top.score;
+  c.plaintext.resize(length_);
+  for (size_t r = 0; r < length_; ++r) {
+    c.plaintext[r] = sorted_[r][top.ranks[r]].second;
+  }
+  return c;
+}
+
+std::vector<Candidate> GenerateCandidatesDouble(const DoubleByteTables& transitions,
+                                                uint8_t m1, uint8_t m_last, size_t n,
+                                                std::span<const uint8_t> alphabet) {
+  const std::vector<uint8_t> full = alphabet.empty() ? FullAlphabet() : std::vector<uint8_t>();
+  const std::span<const uint8_t> a = alphabet.empty() ? std::span<const uint8_t>(full)
+                                                      : alphabet;
+  const size_t inner = transitions.size() - 1;  // number of unknown bytes
+  assert(inner >= 1);
+
+  // lists[t][value_index] = N-best entries for prefixes ending in a[value_index]
+  // after consuming transition t. Entries point into lists[t-1].
+  // An entry's `prev` packs (previous value index, index in its list).
+  struct ListEntry {
+    double score;
+    uint32_t prev_value_index;
+    uint32_t prev_list_index;
+  };
+  std::vector<std::vector<std::vector<ListEntry>>> lists(inner);
+
+  // Transition 0: m1 -> first unknown byte.
+  assert(transitions[0].size() == 65536);
+  lists[0].resize(a.size());
+  for (size_t vi = 0; vi < a.size(); ++vi) {
+    const double score = transitions[0][static_cast<size_t>(m1) * 256 + a[vi]];
+    lists[0][vi].push_back(ListEntry{score, 0, 0});
+  }
+
+  // Transitions between unknown bytes.
+  for (size_t t = 1; t < inner; ++t) {
+    assert(transitions[t].size() == 65536);
+    lists[t].resize(a.size());
+    for (size_t vi = 0; vi < a.size(); ++vi) {
+      const uint8_t mu2 = a[vi];
+      // Merge |A| sorted streams: stream ui yields
+      // lists[t-1][ui][j].score + log lambda_t(a[ui], mu2) for j = 0, 1, ...
+      std::priority_queue<StreamHeapNode> heap;
+      for (uint32_t ui = 0; ui < a.size(); ++ui) {
+        if (!lists[t - 1][ui].empty()) {
+          const double trans =
+              transitions[t][static_cast<size_t>(a[ui]) * 256 + mu2];
+          heap.push(StreamHeapNode{lists[t - 1][ui][0].score + trans, 0, ui});
+        }
+      }
+      auto& out_list = lists[t][vi];
+      while (out_list.size() < n && !heap.empty()) {
+        const StreamHeapNode top = heap.top();
+        heap.pop();
+        out_list.push_back(ListEntry{top.score, top.stream, top.prev_index});
+        const auto& src = lists[t - 1][top.stream];
+        if (top.prev_index + 1 < src.size()) {
+          const double trans =
+              transitions[t][static_cast<size_t>(a[top.stream]) * 256 + mu2];
+          heap.push(StreamHeapNode{src[top.prev_index + 1].score + trans,
+                                   top.prev_index + 1, top.stream});
+        }
+      }
+    }
+  }
+
+  // Final transition: last unknown byte -> m_last. Merge into one list.
+  const auto& final_table = transitions[inner];
+  assert(final_table.size() == 65536);
+  std::priority_queue<StreamHeapNode> heap;
+  for (uint32_t vi = 0; vi < a.size(); ++vi) {
+    if (!lists[inner - 1][vi].empty()) {
+      const double trans = final_table[static_cast<size_t>(a[vi]) * 256 + m_last];
+      heap.push(StreamHeapNode{lists[inner - 1][vi][0].score + trans, 0, vi});
+    }
+  }
+  std::vector<Candidate> out;
+  while (out.size() < n && !heap.empty()) {
+    const StreamHeapNode top = heap.top();
+    heap.pop();
+    Candidate c;
+    c.log_likelihood = top.score;
+    c.plaintext.resize(inner);
+    uint32_t value_index = top.stream;
+    uint32_t list_index = top.prev_index;
+    for (size_t t = inner; t-- > 0;) {
+      c.plaintext[t] = a[value_index];
+      const ListEntry& e = lists[t][value_index][list_index];
+      value_index = e.prev_value_index;
+      list_index = e.prev_list_index;
+    }
+    out.push_back(std::move(c));
+    const auto& src = lists[inner - 1][top.stream];
+    if (top.prev_index + 1 < src.size()) {
+      const double trans =
+          final_table[static_cast<size_t>(a[top.stream]) * 256 + m_last];
+      heap.push(StreamHeapNode{src[top.prev_index + 1].score + trans,
+                               top.prev_index + 1, top.stream});
+    }
+  }
+  return out;
+}
+
+}  // namespace rc4b

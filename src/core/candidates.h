@@ -1,0 +1,78 @@
+// Plaintext candidate lists in decreasing likelihood (Sect. 4.4).
+//
+// Three generators are provided:
+//   * Algorithm 1 of the paper: incremental N-best over single-byte
+//     likelihoods, length by length.
+//   * A lazy best-first enumerator over single-byte likelihoods. It yields
+//     candidates one at a time in exactly the same order, with memory
+//     proportional to the number of candidates popped — this is what the
+//     TKIP attack uses to traverse a huge candidate space until a CRC match.
+//   * Algorithm 2 of the paper: an N-best list-Viterbi decoder over
+//     double-byte (Markov / HMM transition) likelihoods with known first and
+//     last bytes and an optional restricted plaintext alphabet (the cookie
+//     character-set optimization of Sect. 6.2).
+#ifndef SRC_CORE_CANDIDATES_H_
+#define SRC_CORE_CANDIDATES_H_
+
+#include <cstdint>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "src/common/bytes.h"
+
+namespace rc4b {
+
+struct Candidate {
+  Bytes plaintext;
+  double log_likelihood = 0.0;
+};
+
+// Per-position single-byte log-likelihood tables: likelihoods[r][mu] for
+// 0 <= r < L, 0 <= mu < 256.
+using SingleByteTables = std::vector<std::vector<double>>;
+
+// Algorithm 1: the N most likely plaintexts of length likelihoods.size().
+std::vector<Candidate> GenerateCandidatesSingle(const SingleByteTables& likelihoods,
+                                                size_t n);
+
+// Lazy best-first enumeration of the same ordering.
+class LazyCandidateEnumerator {
+ public:
+  explicit LazyCandidateEnumerator(const SingleByteTables& likelihoods);
+
+  // Returns the next most likely candidate. Never exhausts before 256^L
+  // candidates have been returned.
+  Candidate Next();
+
+  uint64_t popped() const { return popped_; }
+
+ private:
+  struct Node {
+    double score;
+    std::vector<uint8_t> ranks;  // per-position index into the sorted table
+    friend bool operator<(const Node& a, const Node& b) { return a.score < b.score; }
+  };
+
+  size_t length_;
+  // sorted_[r][k] = (log-likelihood, byte value) of the k-th best value.
+  std::vector<std::vector<std::pair<double, uint8_t>>> sorted_;
+  std::priority_queue<Node> heap_;
+  uint64_t popped_ = 0;
+};
+
+// Double-byte transition tables for Algorithm 2: transitions[t] is a 65536
+// log-likelihood table for the pair (byte_t, byte_{t+1}) of the padded
+// plaintext m1 || P || mL; t ranges over 0 .. L-2 where L = |P| + 2.
+using DoubleByteTables = std::vector<std::vector<double>>;
+
+// Algorithm 2: the N most likely plaintexts (inner bytes only, |P| bytes)
+// given the known boundary bytes m1 and mL. `alphabet` restricts the inner
+// byte values (empty = all 256).
+std::vector<Candidate> GenerateCandidatesDouble(const DoubleByteTables& transitions,
+                                                uint8_t m1, uint8_t m_last, size_t n,
+                                                std::span<const uint8_t> alphabet = {});
+
+}  // namespace rc4b
+
+#endif  // SRC_CORE_CANDIDATES_H_

@@ -1,0 +1,114 @@
+#include "src/core/likelihood.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rc4b {
+
+std::vector<double> LogProbabilities(std::span<const double> probabilities) {
+  std::vector<double> out(probabilities.size());
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    out[i] = std::log(probabilities[i]);
+  }
+  return out;
+}
+
+std::vector<double> SingleByteLogLikelihood(std::span<const uint64_t> counts,
+                                            std::span<const double> log_p) {
+  assert(counts.size() == 256 && log_p.size() == 256);
+  std::vector<double> lambda(256, 0.0);
+  for (size_t mu = 0; mu < 256; ++mu) {
+    double sum = 0.0;
+    for (size_t c = 0; c < 256; ++c) {
+      sum += static_cast<double>(counts[c]) * log_p[c ^ mu];
+    }
+    lambda[mu] = sum;
+  }
+  return lambda;
+}
+
+std::vector<double> DoubleByteLogLikelihoodDense(std::span<const uint64_t> counts,
+                                                 std::span<const double> log_p) {
+  assert(counts.size() == 65536 && log_p.size() == 65536);
+  std::vector<double> lambda(65536, 0.0);
+  for (size_t mu1 = 0; mu1 < 256; ++mu1) {
+    for (size_t mu2 = 0; mu2 < 256; ++mu2) {
+      double sum = 0.0;
+      for (size_t c1 = 0; c1 < 256; ++c1) {
+        const size_t k1 = c1 ^ mu1;
+        const uint64_t* count_row = counts.data() + c1 * 256;
+        const double* logp_row = log_p.data() + k1 * 256;
+        for (size_t c2 = 0; c2 < 256; ++c2) {
+          sum += static_cast<double>(count_row[c2]) * logp_row[c2 ^ mu2];
+        }
+      }
+      lambda[mu1 * 256 + mu2] = sum;
+    }
+  }
+  return lambda;
+}
+
+std::vector<double> DoubleByteLogLikelihoodSparse(std::span<const uint64_t> counts,
+                                                  uint64_t total,
+                                                  const SparseDigraphModel& model) {
+  assert(counts.size() == 65536);
+  const double log_u = std::log(model.unbiased_probability);
+  // lambda_mu = total * log(u) + sum over biased keystream cells k of
+  //   counts[k XOR mu] * (log p_k - log u),
+  // since the induced keystream count for cell k under plaintext mu is the
+  // ciphertext count at k XOR mu (componentwise on both bytes).
+  std::vector<double> lambda(65536, static_cast<double>(total) * log_u);
+  for (const auto& [cell, p] : model.biased_cells) {
+    const double delta = std::log(p) - log_u;
+    const size_t k1 = cell >> 8;
+    const size_t k2 = cell & 0xff;
+    for (size_t mu1 = 0; mu1 < 256; ++mu1) {
+      const size_t c1 = k1 ^ mu1;
+      double* lambda_row = lambda.data() + mu1 * 256;
+      const uint64_t* count_row = counts.data() + c1 * 256;
+      for (size_t mu2 = 0; mu2 < 256; ++mu2) {
+        lambda_row[mu2] += delta * static_cast<double>(count_row[k2 ^ mu2]);
+      }
+    }
+  }
+  return lambda;
+}
+
+std::vector<double> AbsabLogLikelihood(std::span<const uint64_t> diff_counts,
+                                       uint64_t total, uint16_t known, double alpha) {
+  assert(diff_counts.size() == 65536);
+  const double log_alpha = std::log(alpha);
+  const double log_other = std::log((1.0 - alpha) / 65535.0);
+  // Formula (22) in log form, with the uniform-cell part absorbed:
+  //   log lambda_dhat = N_dhat * log(alpha) + (total - N_dhat) * log_other
+  // and formula (24): the table over (mu1, mu2) reads the differential
+  // dhat = (mu1, mu2) XOR known.
+  std::vector<double> lambda(65536);
+  const size_t known1 = known >> 8;
+  const size_t known2 = known & 0xff;
+  for (size_t mu1 = 0; mu1 < 256; ++mu1) {
+    const size_t d1 = mu1 ^ known1;
+    for (size_t mu2 = 0; mu2 < 256; ++mu2) {
+      const size_t d2 = mu2 ^ known2;
+      const double n = static_cast<double>(diff_counts[d1 * 256 + d2]);
+      lambda[mu1 * 256 + mu2] =
+          n * log_alpha + (static_cast<double>(total) - n) * log_other;
+    }
+  }
+  return lambda;
+}
+
+void CombineInPlace(std::span<double> accumulator, std::span<const double> other) {
+  assert(accumulator.size() == other.size());
+  for (size_t i = 0; i < accumulator.size(); ++i) {
+    accumulator[i] += other[i];
+  }
+}
+
+size_t ArgMax(std::span<const double> table) {
+  return static_cast<size_t>(
+      std::max_element(table.begin(), table.end()) - table.begin());
+}
+
+}  // namespace rc4b

@@ -1,0 +1,60 @@
+// Bayesian plaintext likelihood estimation (Sect. 4.1–4.3 of the paper).
+//
+// All likelihoods are computed and combined in the log domain for numeric
+// stability, as the paper recommends. Conventions:
+//   * A "single-byte table" is 256 log-likelihoods lambda_mu.
+//   * A "double-byte table" is 65536 log-likelihoods lambda_{mu1,mu2} indexed
+//     mu1 * 256 + mu2.
+//   * Ciphertext statistics are raw counts: how often each ciphertext byte
+//     (or byte pair / differential pair) value was observed.
+#ifndef SRC_CORE_LIKELIHOOD_H_
+#define SRC_CORE_LIKELIHOOD_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/biases/fluhrer_mcgrew.h"
+
+namespace rc4b {
+
+// Elementwise log() of a probability vector (any size).
+std::vector<double> LogProbabilities(std::span<const double> probabilities);
+
+// Single-byte likelihood, formula (11)/(12):
+//   lambda_mu = sum_c counts[c] * log_p[c XOR mu].
+// `counts[c]` is the number of ciphertexts whose byte at this position is c;
+// `log_p` is the (log) keystream distribution at this position.
+std::vector<double> SingleByteLogLikelihood(std::span<const uint64_t> counts,
+                                            std::span<const double> log_p);
+
+// Dense double-byte likelihood, formula (13): counts and log_p are 65536-cell
+// tables indexed c1 * 256 + c2 / k1 * 256 + k2. O(2^32); used for validation.
+std::vector<double> DoubleByteLogLikelihoodDense(std::span<const uint64_t> counts,
+                                                 std::span<const double> log_p);
+
+// Sparse double-byte likelihood, the optimization of formula (15): all
+// keystream pairs share probability `u` except for the `biased_cells`.
+// Only O(|biased| * 2^16) work — ~2^19 for the Fluhrer–McGrew set, matching
+// the paper's complexity claim.
+std::vector<double> DoubleByteLogLikelihoodSparse(std::span<const uint64_t> counts,
+                                                  uint64_t total,
+                                                  const SparseDigraphModel& model);
+
+// ABSAB differential likelihood, formulas (20)–(24). `diff_counts[d]` counts
+// ciphertext differentials with value d (= d1 * 256 + d2); `known` is the
+// known plaintext pair (mu'1 * 256 + mu'2); `alpha` = AbsabAlpha(gap).
+// Returns a double-byte table over the *unknown* pair (mu1, mu2).
+std::vector<double> AbsabLogLikelihood(std::span<const uint64_t> diff_counts,
+                                       uint64_t total, uint16_t known, double alpha);
+
+// Combines likelihood estimates from multiple bias types by adding their log
+// tables — formula (25). Tables must have equal size.
+void CombineInPlace(std::span<double> accumulator, std::span<const double> other);
+
+// argmax index of a table.
+size_t ArgMax(std::span<const double> table);
+
+}  // namespace rc4b
+
+#endif  // SRC_CORE_LIKELIHOOD_H_

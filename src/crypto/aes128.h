@@ -1,0 +1,55 @@
+// AES-128 block cipher and a CTR-mode keystream, implemented from FIPS-197.
+//
+// Role in the reproduction: the paper's dataset workers derive random RC4 keys
+// from a per-worker AES key run in counter mode (Sect. 3.2). We follow the
+// same construction so dataset generation is deterministic given worker seeds.
+#ifndef SRC_CRYPTO_AES128_H_
+#define SRC_CRYPTO_AES128_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "src/common/bytes.h"
+
+namespace rc4b {
+
+class Aes128 {
+ public:
+  static constexpr size_t kBlockSize = 16;
+  static constexpr size_t kKeySize = 16;
+
+  explicit Aes128(std::span<const uint8_t> key);
+
+  // Encrypts one 16-byte block (out may alias in).
+  void EncryptBlock(const uint8_t in[kBlockSize], uint8_t out[kBlockSize]) const;
+
+  // The AES S-box; exposed because the TKIP key-mixing S-box is derived from
+  // it (see src/tkip/key_mixing.cc).
+  static const std::array<uint8_t, 256>& SBox();
+
+ private:
+  std::array<uint32_t, 44> round_keys_;
+};
+
+// CTR-mode generator: encrypts an incrementing 128-bit big-endian counter.
+class Aes128Ctr {
+ public:
+  explicit Aes128Ctr(std::span<const uint8_t> key) : aes_(key) {}
+
+  // Fills `out` with keystream, continuing from the current counter.
+  void Generate(std::span<uint8_t> out);
+
+  // Repositions the counter (used to shard one worker key across chunks).
+  void Seek(uint64_t block_index);
+
+ private:
+  Aes128 aes_;
+  uint64_t counter_ = 0;
+  std::array<uint8_t, Aes128::kBlockSize> buffer_{};
+  size_t buffered_ = 0;  // valid bytes remaining at the tail of buffer_
+};
+
+}  // namespace rc4b
+
+#endif  // SRC_CRYPTO_AES128_H_

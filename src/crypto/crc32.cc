@@ -1,0 +1,44 @@
+#include "src/crypto/crc32.h"
+
+#include <array>
+
+namespace rc4b {
+
+namespace {
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  return kTable;
+}
+
+}  // namespace
+
+uint32_t Crc32Init() { return 0xffffffffu; }
+
+uint32_t Crc32Update(uint32_t state, std::span<const uint8_t> data) {
+  const auto& table = Table();
+  for (uint8_t b : data) {
+    state = table[(state ^ b) & 0xff] ^ (state >> 8);
+  }
+  return state;
+}
+
+uint32_t Crc32Final(uint32_t state) { return state ^ 0xffffffffu; }
+
+uint32_t Crc32(std::span<const uint8_t> data) {
+  return Crc32Final(Crc32Update(Crc32Init(), data));
+}
+
+}  // namespace rc4b

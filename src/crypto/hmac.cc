@@ -1,0 +1,40 @@
+#include "src/crypto/hmac.h"
+
+#include <cstring>
+
+namespace rc4b {
+
+HmacSha1::HmacSha1(std::span<const uint8_t> key) {
+  std::array<uint8_t, Sha1::kBlockSize> block_key{};
+  if (key.size() > Sha1::kBlockSize) {
+    const auto digest = Sha1::Digest(key);
+    std::memcpy(block_key.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(block_key.data(), key.data(), key.size());
+  }
+  for (size_t i = 0; i < Sha1::kBlockSize; ++i) {
+    ipad_key_[i] = static_cast<uint8_t>(block_key[i] ^ 0x36);
+    opad_key_[i] = static_cast<uint8_t>(block_key[i] ^ 0x5c);
+  }
+  inner_.Update(ipad_key_);
+}
+
+void HmacSha1::Update(std::span<const uint8_t> data) { inner_.Update(data); }
+
+std::array<uint8_t, HmacSha1::kDigestSize> HmacSha1::Finish() {
+  const auto inner_digest = inner_.Finish();
+  Sha1 outer;
+  outer.Update(opad_key_);
+  outer.Update(inner_digest);
+  inner_.Update(ipad_key_);  // reset for reuse with the same key
+  return outer.Finish();
+}
+
+std::array<uint8_t, HmacSha1::kDigestSize> HmacSha1::Digest(
+    std::span<const uint8_t> key, std::span<const uint8_t> data) {
+  HmacSha1 mac(key);
+  mac.Update(data);
+  return mac.Finish();
+}
+
+}  // namespace rc4b

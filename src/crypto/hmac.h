@@ -1,0 +1,34 @@
+// HMAC-SHA1 (RFC 2104) — the record MAC of the TLS_RSA_WITH_RC4_128_SHA
+// cipher suite used throughout the paper's TLS attack.
+#ifndef SRC_CRYPTO_HMAC_H_
+#define SRC_CRYPTO_HMAC_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "src/crypto/sha1.h"
+
+namespace rc4b {
+
+class HmacSha1 {
+ public:
+  static constexpr size_t kDigestSize = Sha1::kDigestSize;
+
+  explicit HmacSha1(std::span<const uint8_t> key);
+
+  void Update(std::span<const uint8_t> data);
+  std::array<uint8_t, kDigestSize> Finish();
+
+  static std::array<uint8_t, kDigestSize> Digest(std::span<const uint8_t> key,
+                                                 std::span<const uint8_t> data);
+
+ private:
+  std::array<uint8_t, Sha1::kBlockSize> ipad_key_{};
+  std::array<uint8_t, Sha1::kBlockSize> opad_key_{};
+  Sha1 inner_;
+};
+
+}  // namespace rc4b
+
+#endif  // SRC_CRYPTO_HMAC_H_

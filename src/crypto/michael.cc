@@ -1,0 +1,113 @@
+#include "src/crypto/michael.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "src/common/bytes.h"
+
+namespace rc4b {
+
+namespace {
+
+// Swaps the two bytes within each 16-bit half of a 32-bit word.
+uint32_t XSwap(uint32_t x) {
+  return ((x & 0xff00ff00u) >> 8) | ((x & 0x00ff00ffu) << 8);
+}
+
+struct State {
+  uint32_t l;
+  uint32_t r;
+};
+
+// The unkeyed Michael block function b(L, R).
+void Block(State& s) {
+  s.r ^= Rotl32(s.l, 17);
+  s.l += s.r;
+  s.r ^= XSwap(s.l);
+  s.l += s.r;
+  s.r ^= Rotl32(s.l, 3);
+  s.l += s.r;
+  s.r ^= Rotr32(s.l, 2);
+  s.l += s.r;
+}
+
+// Exact inverse of Block: undo the four add/xor rounds in reverse order.
+void InverseBlock(State& s) {
+  s.l -= s.r;
+  s.r ^= Rotr32(s.l, 2);
+  s.l -= s.r;
+  s.r ^= Rotl32(s.l, 3);
+  s.l -= s.r;
+  s.r ^= XSwap(s.l);
+  s.l -= s.r;
+  s.r ^= Rotl32(s.l, 17);
+}
+
+// Message padding: append 0x5a, then zero bytes to the next multiple of four,
+// then one additional all-zero word (IEEE 802.11 11.4.2.3.2).
+std::vector<uint32_t> PadToWords(std::span<const uint8_t> message) {
+  std::vector<uint8_t> padded(message.begin(), message.end());
+  padded.push_back(0x5a);
+  while (padded.size() % 4 != 0) {
+    padded.push_back(0x00);
+  }
+  for (int i = 0; i < 4; ++i) {
+    padded.push_back(0x00);
+  }
+  std::vector<uint32_t> words(padded.size() / 4);
+  for (size_t i = 0; i < words.size(); ++i) {
+    words[i] = LoadLe32(padded.data() + 4 * i);
+  }
+  return words;
+}
+
+}  // namespace
+
+MichaelKey MichaelKeyFromBytes(std::span<const uint8_t> key8) {
+  assert(key8.size() == 8);
+  return MichaelKey{LoadLe32(key8.data()), LoadLe32(key8.data() + 4)};
+}
+
+std::array<uint8_t, 8> MichaelKeyToBytes(const MichaelKey& key) {
+  std::array<uint8_t, 8> out;
+  StoreLe32(key.l, out.data());
+  StoreLe32(key.r, out.data() + 4);
+  return out;
+}
+
+std::array<uint8_t, 8> MichaelMic(const MichaelKey& key, std::span<const uint8_t> message) {
+  State s{key.l, key.r};
+  for (uint32_t word : PadToWords(message)) {
+    s.l ^= word;
+    Block(s);
+  }
+  std::array<uint8_t, 8> out;
+  StoreLe32(s.l, out.data());
+  StoreLe32(s.r, out.data() + 4);
+  return out;
+}
+
+MichaelKey MichaelRecoverKey(std::span<const uint8_t> message,
+                             std::span<const uint8_t> mic8) {
+  assert(mic8.size() == 8);
+  State s{LoadLe32(mic8.data()), LoadLe32(mic8.data() + 4)};
+  const auto words = PadToWords(message);
+  for (size_t i = words.size(); i-- > 0;) {
+    InverseBlock(s);
+    s.l ^= words[i];
+  }
+  return MichaelKey{s.l, s.r};
+}
+
+std::array<uint8_t, 16> MichaelHeader(std::span<const uint8_t> da6,
+                                      std::span<const uint8_t> sa6, uint8_t priority) {
+  assert(da6.size() == 6 && sa6.size() == 6);
+  std::array<uint8_t, 16> header{};
+  std::memcpy(header.data(), da6.data(), 6);
+  std::memcpy(header.data() + 6, sa6.data(), 6);
+  header[12] = priority;
+  return header;
+}
+
+}  // namespace rc4b

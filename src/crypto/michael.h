@@ -1,0 +1,47 @@
+// Michael — the TKIP Message Integrity Check (IEEE 802.11, clause 11.4.2.3).
+//
+// Michael maps a 64-bit key and a message to a 64-bit MIC using an unkeyed
+// invertible block function. Because the block function is invertible, the
+// key can be recovered from any (message, MIC) pair by running the rounds
+// backwards — the Tews/Beck attack the paper relies on in Sect. 5 ("given
+// plaintext data and its MIC value, we can efficiently derive the MIC key").
+#ifndef SRC_CRYPTO_MICHAEL_H_
+#define SRC_CRYPTO_MICHAEL_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace rc4b {
+
+struct MichaelKey {
+  uint32_t l = 0;
+  uint32_t r = 0;
+
+  friend bool operator==(const MichaelKey&, const MichaelKey&) = default;
+};
+
+// Converts between the wire format (8 bytes, little-endian words) and the
+// (L, R) word pair.
+MichaelKey MichaelKeyFromBytes(std::span<const uint8_t> key8);
+std::array<uint8_t, 8> MichaelKeyToBytes(const MichaelKey& key);
+
+// Computes MIC(key, message). The message is the MSDU view used by TKIP:
+// DA || SA || priority || 3 zero bytes || payload. Callers that want the raw
+// Michael function (e.g. the chained test vectors) pass the message directly.
+std::array<uint8_t, 8> MichaelMic(const MichaelKey& key, std::span<const uint8_t> message);
+
+// Recovers the key from a message and its MIC by inverting the block function
+// and unwinding the message words (Tews/Beck). Exact inverse: for all keys
+// and messages, MichaelRecoverKey(m, MichaelMic(k, m)) == k.
+MichaelKey MichaelRecoverKey(std::span<const uint8_t> message,
+                             std::span<const uint8_t> mic8);
+
+// Builds the TKIP MSDU header block that Michael authenticates in front of
+// the payload: destination, source, priority, 3 reserved zero bytes.
+std::array<uint8_t, 16> MichaelHeader(std::span<const uint8_t> da6,
+                                      std::span<const uint8_t> sa6, uint8_t priority);
+
+}  // namespace rc4b
+
+#endif  // SRC_CRYPTO_MICHAEL_H_

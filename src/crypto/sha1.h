@@ -1,0 +1,40 @@
+// SHA-1 (FIPS 180-4) — substrate for the TLS record HMAC (RC4-SHA1 suite).
+// SHA-1 is cryptographically broken for collision resistance, but it is what
+// the TLS_RSA_WITH_RC4_128_SHA cipher suite in the paper uses for record MACs.
+#ifndef SRC_CRYPTO_SHA1_H_
+#define SRC_CRYPTO_SHA1_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "src/common/bytes.h"
+
+namespace rc4b {
+
+class Sha1 {
+ public:
+  static constexpr size_t kDigestSize = 20;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha1() { Reset(); }
+
+  void Reset();
+  void Update(std::span<const uint8_t> data);
+  std::array<uint8_t, kDigestSize> Finish();
+
+  // One-shot convenience.
+  static std::array<uint8_t, kDigestSize> Digest(std::span<const uint8_t> data);
+
+ private:
+  void ProcessBlock(const uint8_t block[kBlockSize]);
+
+  uint32_t h_[5];
+  uint64_t total_bytes_ = 0;
+  uint8_t buffer_[kBlockSize];
+  size_t buffered_ = 0;
+};
+
+}  // namespace rc4b
+
+#endif  // SRC_CRYPTO_SHA1_H_

@@ -1,0 +1,123 @@
+#include "src/net/packet.h"
+
+#include <cassert>
+
+namespace rc4b {
+
+namespace {
+
+// Accumulates 16-bit big-endian words; odd trailing byte is high-padded.
+uint32_t ChecksumAccumulate(uint32_t sum, std::span<const uint8_t> data) {
+  size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += LoadBe16(data.data() + i);
+  }
+  if (i < data.size()) {
+    sum += static_cast<uint32_t>(data[i]) << 8;
+  }
+  return sum;
+}
+
+uint16_t ChecksumFinish(uint32_t sum) {
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum);
+}
+
+// 12-byte TCP pseudo-header for the given IPv4 endpoints.
+std::array<uint8_t, 12> PseudoHeader(uint32_t source, uint32_t destination,
+                                     uint16_t tcp_length) {
+  std::array<uint8_t, 12> ph{};
+  StoreBe32(source, ph.data());
+  StoreBe32(destination, ph.data() + 4);
+  ph[8] = 0;
+  ph[9] = 6;  // TCP
+  StoreBe16(tcp_length, ph.data() + 10);
+  return ph;
+}
+
+}  // namespace
+
+uint16_t InternetChecksum(std::span<const uint8_t> data) {
+  return ChecksumFinish(ChecksumAccumulate(0, data));
+}
+
+Bytes LlcSnapHeader::Serialize() const {
+  Bytes out(kSize);
+  out[0] = 0xaa;  // DSAP: SNAP
+  out[1] = 0xaa;  // SSAP: SNAP
+  out[2] = 0x03;  // control: UI
+  out[3] = out[4] = out[5] = 0x00;  // OUI: encapsulated Ethernet
+  StoreBe16(ethertype, out.data() + 6);
+  return out;
+}
+
+Bytes Ipv4Header::Serialize(size_t payload_length) const {
+  Bytes out(kSize, 0);
+  out[0] = 0x45;  // version 4, IHL 5
+  out[1] = 0x00;  // DSCP/ECN
+  const uint16_t length = total_length != 0
+                              ? total_length
+                              : static_cast<uint16_t>(kSize + payload_length);
+  StoreBe16(length, out.data() + 2);
+  StoreBe16(identification, out.data() + 4);
+  StoreBe16(0x4000, out.data() + 6);  // DF, no fragmentation
+  out[8] = ttl;
+  out[9] = protocol;
+  // checksum at [10..11] computed below
+  StoreBe32(source, out.data() + 12);
+  StoreBe32(destination, out.data() + 16);
+  StoreBe16(InternetChecksum(out), out.data() + 10);
+  return out;
+}
+
+Bytes TcpHeader::Serialize(const Ipv4Header& ip, std::span<const uint8_t> data) const {
+  Bytes out(kSize, 0);
+  StoreBe16(source_port, out.data());
+  StoreBe16(destination_port, out.data() + 2);
+  StoreBe32(sequence, out.data() + 4);
+  StoreBe32(acknowledgement, out.data() + 8);
+  out[12] = 0x50;  // data offset 5 words
+  out[13] = flags;
+  StoreBe16(window, out.data() + 14);
+  // checksum at [16..17]; urgent pointer stays 0.
+  const auto pseudo = PseudoHeader(ip.source, ip.destination,
+                                   static_cast<uint16_t>(kSize + data.size()));
+  uint32_t sum = ChecksumAccumulate(0, pseudo);
+  sum = ChecksumAccumulate(sum, out);
+  sum = ChecksumAccumulate(sum, data);
+  StoreBe16(ChecksumFinish(sum), out.data() + 16);
+  return out;
+}
+
+bool VerifyIpv4Checksum(std::span<const uint8_t> header) {
+  assert(header.size() >= Ipv4Header::kSize);
+  return InternetChecksum(header.subspan(0, Ipv4Header::kSize)) == 0;
+}
+
+bool VerifyTcpChecksum(std::span<const uint8_t> ip_header,
+                       std::span<const uint8_t> tcp_segment) {
+  assert(ip_header.size() >= Ipv4Header::kSize);
+  const uint32_t src = LoadBe32(ip_header.data() + 12);
+  const uint32_t dst = LoadBe32(ip_header.data() + 16);
+  const auto pseudo = PseudoHeader(src, dst, static_cast<uint16_t>(tcp_segment.size()));
+  uint32_t sum = ChecksumAccumulate(0, pseudo);
+  sum = ChecksumAccumulate(sum, tcp_segment);
+  return ChecksumFinish(sum) == 0;
+}
+
+Bytes BuildTcpPacket(const LlcSnapHeader& llc, Ipv4Header ip, const TcpHeader& tcp,
+                     std::span<const uint8_t> payload) {
+  Bytes out = llc.Serialize();
+  const size_t tcp_length = TcpHeader::kSize + payload.size();
+  ip.total_length = static_cast<uint16_t>(Ipv4Header::kSize + tcp_length);
+  const Bytes ip_bytes = ip.Serialize(tcp_length);
+  const Bytes tcp_bytes = tcp.Serialize(ip, payload);
+  out.insert(out.end(), ip_bytes.begin(), ip_bytes.end());
+  out.insert(out.end(), tcp_bytes.begin(), tcp_bytes.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+}  // namespace rc4b

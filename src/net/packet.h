@@ -1,0 +1,77 @@
+// Minimal LLC/SNAP + IPv4 + TCP framing — the plaintext structure of the
+// packet the TKIP attack injects (Fig. 2 of the paper: a TCP payload behind
+// 48 bytes of LLC/SNAP, IP and TCP headers).
+//
+// The attack exploits this structure twice: the headers are (mostly) known
+// plaintext, and the IP/TCP checksums let candidate pruning recover the few
+// unknown header fields (internal IP/port, TTL) — Sect. 5.3.
+#ifndef SRC_NET_PACKET_H_
+#define SRC_NET_PACKET_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "src/common/bytes.h"
+
+namespace rc4b {
+
+// 8-byte LLC/SNAP header carrying an IPv4 ethertype.
+struct LlcSnapHeader {
+  static constexpr size_t kSize = 8;
+  uint16_t ethertype = 0x0800;  // IPv4
+
+  Bytes Serialize() const;
+};
+
+// 20-byte IPv4 header (no options).
+struct Ipv4Header {
+  static constexpr size_t kSize = 20;
+
+  uint8_t ttl = 64;
+  uint8_t protocol = 6;  // TCP
+  uint32_t source = 0;
+  uint32_t destination = 0;
+  uint16_t identification = 0;
+  uint16_t total_length = 0;  // filled by Serialize if 0
+
+  // Serializes with a correct header checksum. `payload_length` is the number
+  // of bytes after this header (TCP header + data).
+  Bytes Serialize(size_t payload_length) const;
+};
+
+// 20-byte TCP header (no options).
+struct TcpHeader {
+  static constexpr size_t kSize = 20;
+
+  uint16_t source_port = 0;
+  uint16_t destination_port = 0;
+  uint32_t sequence = 0;
+  uint32_t acknowledgement = 0;
+  uint8_t flags = 0x18;  // PSH | ACK
+  uint16_t window = 0x2000;
+
+  // Serializes with a correct checksum over the IPv4 pseudo-header and data.
+  Bytes Serialize(const Ipv4Header& ip, std::span<const uint8_t> data) const;
+};
+
+// RFC 1071 internet checksum (used for both the IP header checksum and the
+// TCP checksum with pseudo-header).
+uint16_t InternetChecksum(std::span<const uint8_t> data);
+
+// True iff an IPv4 header (20 bytes) has a valid checksum.
+bool VerifyIpv4Checksum(std::span<const uint8_t> header);
+
+// True iff a TCP segment (header + data) checksums correctly against the
+// addresses in the given serialized IPv4 header.
+bool VerifyTcpChecksum(std::span<const uint8_t> ip_header,
+                       std::span<const uint8_t> tcp_segment);
+
+// Builds the full injected plaintext: LLC/SNAP || IPv4 || TCP || payload.
+// This is the 48-byte header block of Fig. 2 plus the TCP payload.
+Bytes BuildTcpPacket(const LlcSnapHeader& llc, Ipv4Header ip, const TcpHeader& tcp,
+                     std::span<const uint8_t> payload);
+
+}  // namespace rc4b
+
+#endif  // SRC_NET_PACKET_H_

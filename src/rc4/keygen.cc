@@ -1,0 +1,29 @@
+#include "src/rc4/keygen.h"
+
+#include "src/common/rng.h"
+
+namespace rc4b {
+
+namespace {
+
+std::array<uint8_t, Aes128::kKeySize> DeriveWorkerAesKey(uint64_t worker_seed) {
+  Xoshiro256 rng(worker_seed ^ 0xa3c59ac4b1e2f07dULL);
+  std::array<uint8_t, Aes128::kKeySize> key;
+  rng.Fill(key);
+  return key;
+}
+
+}  // namespace
+
+Rc4KeyGenerator::Rc4KeyGenerator(uint64_t worker_seed)
+    : ctr_(DeriveWorkerAesKey(worker_seed)) {}
+
+std::array<uint8_t, Rc4KeyGenerator::kRc4KeySize> Rc4KeyGenerator::NextKey() {
+  std::array<uint8_t, kRc4KeySize> key;
+  ctr_.Generate(key);
+  return key;
+}
+
+void Rc4KeyGenerator::Seek(uint64_t key_index) { ctr_.Seek(key_index); }
+
+}  // namespace rc4b

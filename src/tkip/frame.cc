@@ -1,0 +1,61 @@
+#include "src/tkip/frame.h"
+
+#include <cstring>
+
+#include "src/crypto/crc32.h"
+#include "src/rc4/rc4.h"
+
+namespace rc4b {
+
+Bytes TkipTrailer(const TkipPeer& peer, std::span<const uint8_t> msdu) {
+  // Michael authenticates DA || SA || priority || 0^3 || payload.
+  const auto header = MichaelHeader(peer.da, peer.sa, peer.priority);
+  Bytes authenticated(header.begin(), header.end());
+  authenticated.insert(authenticated.end(), msdu.begin(), msdu.end());
+  const auto mic = MichaelMic(peer.mic_key, authenticated);
+
+  Bytes trailer(mic.begin(), mic.end());
+  // ICV: CRC-32 over MSDU || MIC, stored little-endian (as in WEP).
+  Bytes icv_input(msdu.begin(), msdu.end());
+  icv_input.insert(icv_input.end(), mic.begin(), mic.end());
+  const uint32_t icv = Crc32(icv_input);
+  trailer.resize(kTkipTrailerSize);
+  StoreLe32(icv, trailer.data() + 8);
+  return trailer;
+}
+
+TkipFrame TkipEncapsulate(const TkipPeer& peer, std::span<const uint8_t> msdu,
+                          uint64_t tsc) {
+  Bytes plaintext(msdu.begin(), msdu.end());
+  const Bytes trailer = TkipTrailer(peer, msdu);
+  plaintext.insert(plaintext.end(), trailer.begin(), trailer.end());
+
+  const Rc4PacketKey key = TkipMixKey(peer.tk, peer.ta, tsc);
+  TkipFrame frame;
+  frame.tsc = tsc;
+  frame.ciphertext.resize(plaintext.size());
+  Rc4 rc4(key);
+  rc4.Process(plaintext, frame.ciphertext);
+  return frame;
+}
+
+std::optional<Bytes> TkipDecapsulate(const TkipPeer& peer, const TkipFrame& frame) {
+  if (frame.ciphertext.size() < kTkipTrailerSize) {
+    return std::nullopt;
+  }
+  const Rc4PacketKey key = TkipMixKey(peer.tk, peer.ta, frame.tsc);
+  Bytes plaintext(frame.ciphertext.size());
+  Rc4 rc4(key);
+  rc4.Process(frame.ciphertext, plaintext);
+
+  const size_t msdu_size = plaintext.size() - kTkipTrailerSize;
+  const Bytes msdu(plaintext.begin(), plaintext.begin() + msdu_size);
+  const Bytes expected = TkipTrailer(peer, msdu);
+  if (std::memcmp(expected.data(), plaintext.data() + msdu_size,
+                  kTkipTrailerSize) != 0) {
+    return std::nullopt;
+  }
+  return msdu;
+}
+
+}  // namespace rc4b

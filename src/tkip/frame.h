@@ -1,0 +1,50 @@
+// TKIP cryptographic encapsulation (Sect. 2.2 / Fig. 2 of the paper):
+//   plaintext MSDU  ->  MSDU || MIC(Michael) || ICV(CRC-32),
+// RC4-encrypted under the per-packet key from the TKIP key mixing, with the
+// 48-bit TSC carried in the clear.
+#ifndef SRC_TKIP_FRAME_H_
+#define SRC_TKIP_FRAME_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "src/common/bytes.h"
+#include "src/crypto/michael.h"
+#include "src/tkip/key_mixing.h"
+
+namespace rc4b {
+
+// Station-side TKIP state for one direction of traffic.
+struct TkipPeer {
+  std::array<uint8_t, 16> tk{};       // temporal (encryption) key
+  MichaelKey mic_key{};               // direction-specific Michael key
+  std::array<uint8_t, 6> ta{};        // transmitter MAC
+  std::array<uint8_t, 6> da{};        // destination MAC
+  std::array<uint8_t, 6> sa{};        // source MAC
+  uint8_t priority = 0;
+};
+
+struct TkipFrame {
+  uint64_t tsc = 0;     // transmitted in the clear in the real MAC header
+  Bytes ciphertext;     // RC4(MSDU || MIC || ICV)
+};
+
+// Number of trailing bytes appended to the MSDU (8-byte MIC + 4-byte ICV).
+inline constexpr size_t kTkipTrailerSize = 12;
+
+// Encrypts `msdu` (e.g. LLC/SNAP || IP || TCP || payload) under `tsc`.
+TkipFrame TkipEncapsulate(const TkipPeer& peer, std::span<const uint8_t> msdu,
+                          uint64_t tsc);
+
+// Decrypts and verifies; returns the MSDU or nullopt on ICV/MIC failure.
+std::optional<Bytes> TkipDecapsulate(const TkipPeer& peer, const TkipFrame& frame);
+
+// Builds the plaintext trailer (MIC || ICV) for a given MSDU — what the TKIP
+// attack must recover from ciphertext alone.
+Bytes TkipTrailer(const TkipPeer& peer, std::span<const uint8_t> msdu);
+
+}  // namespace rc4b
+
+#endif  // SRC_TKIP_FRAME_H_

@@ -1,0 +1,60 @@
+#include "src/tkip/header_recovery.h"
+
+#include <cassert>
+
+namespace rc4b {
+
+std::vector<size_t> UnknownHeaderLayout::Positions() {
+  std::vector<size_t> positions;
+  positions.push_back(kTtl);
+  positions.push_back(kIpChecksum);
+  positions.push_back(kIpChecksum + 1);
+  for (size_t i = 0; i < 4; ++i) {
+    positions.push_back(kClientAddress + i);
+  }
+  positions.push_back(kClientPort);
+  positions.push_back(kClientPort + 1);
+  positions.push_back(kTcpChecksum);
+  positions.push_back(kTcpChecksum + 1);
+  return positions;
+}
+
+bool HeaderChecksumsValid(const Bytes& msdu) {
+  if (msdu.size() < 48) {
+    return false;
+  }
+  const std::span<const uint8_t> ip(msdu.data() + 8, 20);
+  const std::span<const uint8_t> tcp_segment(msdu.data() + 28, msdu.size() - 28);
+  return VerifyIpv4Checksum(ip) && VerifyTcpChecksum(ip, tcp_segment);
+}
+
+HeaderRecoveryResult RecoverHeaderFields(const Bytes& template_msdu,
+                                         const SingleByteTables& likelihoods,
+                                         uint64_t max_candidates) {
+  const auto positions = UnknownHeaderLayout::Positions();
+  assert(likelihoods.size() == positions.size());
+  assert(template_msdu.size() >= 48);
+
+  HeaderRecoveryResult result;
+  Bytes msdu = template_msdu;
+  LazyCandidateEnumerator enumerator(likelihoods);
+  for (uint64_t n = 0; n < max_candidates; ++n) {
+    const Candidate candidate = enumerator.Next();
+    for (size_t i = 0; i < positions.size(); ++i) {
+      msdu[positions[i]] = candidate.plaintext[i];
+    }
+    if (!HeaderChecksumsValid(msdu)) {
+      continue;
+    }
+    result.found = true;
+    result.candidates_tried = n + 1;
+    result.ttl = msdu[UnknownHeaderLayout::kTtl];
+    result.client_address = LoadBe32(msdu.data() + UnknownHeaderLayout::kClientAddress);
+    result.client_port = LoadBe16(msdu.data() + UnknownHeaderLayout::kClientPort);
+    result.msdu = msdu;
+    return result;
+  }
+  return result;
+}
+
+}  // namespace rc4b

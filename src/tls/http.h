@@ -1,0 +1,51 @@
+// HTTP request shaping for the cookie attack (Sect. 6.1, Listing 3).
+//
+// The attacker, from a man-in-the-middle position on plaintext HTTP, forces a
+// request layout where the secure `auth` cookie is (a) at a predictable
+// offset, (b) preceded by sniffable known headers, and (c) followed by
+// attacker-injected cookies — known plaintext on both sides, enabling the
+// ABSAB differential likelihoods. Injected-cookie padding also aligns the
+// cookie to a fixed position modulo 256 so the Fluhrer–McGrew biases line up
+// across requests (Sect. 6.3).
+#ifndef SRC_TLS_HTTP_H_
+#define SRC_TLS_HTTP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/bytes.h"
+
+namespace rc4b {
+
+struct HttpRequestTemplate {
+  std::string method_line = "GET / HTTP/1.1";
+  std::string host = "site.com";
+  std::string cookie_name = "auth";
+  size_t cookie_length = 16;
+  // Total plaintext request size; the paper's tool detects the 512-byte
+  // encrypted requests on the wire.
+  size_t total_size = 512;
+  // Required cookie offset modulo 256 within the RC4 keystream. The record
+  // MAC trails the payload, so plaintext position == keystream position once
+  // the per-request record offset is fixed (one request per record).
+  size_t cookie_alignment = 0;
+};
+
+struct ShapedRequest {
+  Bytes plaintext;        // full HTTP request bytes
+  size_t cookie_offset;   // offset of the cookie *value* within plaintext
+};
+
+// Builds the request with leading known headers, `cookie_value` at the
+// aligned offset, and trailing injected cookies padding to `total_size`.
+// The cookie value must have template.cookie_length bytes.
+ShapedRequest BuildAlignedRequest(const HttpRequestTemplate& tmpl,
+                                  const Bytes& cookie_value);
+
+// Padding needed in front of the Cookie value so that (record_offset +
+// cookie_offset) % 256 == alignment. Exposed for tests.
+size_t AlignmentPadding(size_t unpadded_offset, size_t alignment);
+
+}  // namespace rc4b
+
+#endif  // SRC_TLS_HTTP_H_

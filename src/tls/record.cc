@@ -1,0 +1,80 @@
+#include "src/tls/record.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace rc4b {
+
+namespace {
+
+// MAC input: seq(8) || type(1) || version(2) || length(2) || payload.
+std::array<uint8_t, HmacSha1::kDigestSize> RecordMac(std::span<const uint8_t> mac_key,
+                                                     uint64_t sequence_number,
+                                                     uint8_t content_type,
+                                                     std::span<const uint8_t> payload) {
+  HmacSha1 mac(mac_key);
+  uint8_t prefix[13];
+  StoreBe64(sequence_number, prefix);
+  prefix[8] = content_type;
+  StoreBe16(kTlsVersion12, prefix + 9);
+  StoreBe16(static_cast<uint16_t>(payload.size()), prefix + 11);
+  mac.Update(prefix);
+  mac.Update(payload);
+  return mac.Finish();
+}
+
+}  // namespace
+
+TlsWriteState::TlsWriteState(std::span<const uint8_t> mac_key,
+                             std::span<const uint8_t> rc4_key)
+    : mac_key_(mac_key.begin(), mac_key.end()), rc4_(rc4_key) {
+  assert(mac_key.size() == HmacSha1::kDigestSize && rc4_key.size() == 16);
+}
+
+Bytes TlsWriteState::Seal(std::span<const uint8_t> payload, uint8_t content_type) {
+  const auto mac = RecordMac(mac_key_, sequence_number_, content_type, payload);
+  ++sequence_number_;
+
+  const size_t inner_size = payload.size() + mac.size();
+  Bytes record(kTlsRecordHeaderSize + inner_size);
+  record[0] = content_type;
+  StoreBe16(kTlsVersion12, record.data() + 1);
+  StoreBe16(static_cast<uint16_t>(inner_size), record.data() + 3);
+
+  Bytes inner(payload.begin(), payload.end());
+  inner.insert(inner.end(), mac.begin(), mac.end());
+  rc4_.Process(inner, std::span<uint8_t>(record.data() + kTlsRecordHeaderSize,
+                                         inner_size));
+  return record;
+}
+
+TlsReadState::TlsReadState(std::span<const uint8_t> mac_key,
+                           std::span<const uint8_t> rc4_key)
+    : mac_key_(mac_key.begin(), mac_key.end()), rc4_(rc4_key) {
+  assert(mac_key.size() == HmacSha1::kDigestSize && rc4_key.size() == 16);
+}
+
+std::optional<Bytes> TlsReadState::Open(std::span<const uint8_t> record) {
+  if (record.size() < kTlsRecordHeaderSize + HmacSha1::kDigestSize) {
+    return std::nullopt;
+  }
+  const uint8_t content_type = record[0];
+  const size_t inner_size = LoadBe16(record.data() + 3);
+  if (record.size() != kTlsRecordHeaderSize + inner_size ||
+      inner_size < HmacSha1::kDigestSize) {
+    return std::nullopt;
+  }
+  Bytes inner(inner_size);
+  rc4_.Process(record.subspan(kTlsRecordHeaderSize), inner);
+
+  const size_t payload_size = inner_size - HmacSha1::kDigestSize;
+  const std::span<const uint8_t> payload(inner.data(), payload_size);
+  const auto expected = RecordMac(mac_key_, sequence_number_, content_type, payload);
+  ++sequence_number_;
+  if (std::memcmp(expected.data(), inner.data() + payload_size, expected.size()) != 0) {
+    return std::nullopt;
+  }
+  return Bytes(payload.begin(), payload.end());
+}
+
+}  // namespace rc4b

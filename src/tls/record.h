@@ -1,0 +1,55 @@
+// TLS record protocol with the RC4-SHA1 cipher suite (Sect. 2.3 / Fig. 3):
+// MAC-then-encrypt, HMAC-SHA1 over sequence number + header + payload, the
+// whole payload||MAC encrypted by one long-lived RC4 stream per direction
+// (none of the initial keystream bytes are discarded).
+#ifndef SRC_TLS_RECORD_H_
+#define SRC_TLS_RECORD_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "src/common/bytes.h"
+#include "src/crypto/hmac.h"
+#include "src/rc4/rc4.h"
+
+namespace rc4b {
+
+inline constexpr uint8_t kTlsApplicationData = 23;
+inline constexpr uint16_t kTlsVersion12 = 0x0303;
+inline constexpr size_t kTlsRecordHeaderSize = 5;
+
+// One direction of an established RC4-SHA1 connection.
+class TlsWriteState {
+ public:
+  // mac_key: 20 bytes; rc4_key: 16 bytes (both derived from the master secret
+  // in real TLS; modelled as uniformly random, as the paper does).
+  TlsWriteState(std::span<const uint8_t> mac_key, std::span<const uint8_t> rc4_key);
+
+  // Seals `payload` into a full record: header || RC4(payload || HMAC).
+  Bytes Seal(std::span<const uint8_t> payload, uint8_t content_type = kTlsApplicationData);
+
+  uint64_t sequence_number() const { return sequence_number_; }
+
+ private:
+  Bytes mac_key_;
+  Rc4 rc4_;
+  uint64_t sequence_number_ = 0;
+};
+
+class TlsReadState {
+ public:
+  TlsReadState(std::span<const uint8_t> mac_key, std::span<const uint8_t> rc4_key);
+
+  // Opens a full record; returns the payload or nullopt on MAC failure.
+  std::optional<Bytes> Open(std::span<const uint8_t> record);
+
+ private:
+  Bytes mac_key_;
+  Rc4 rc4_;
+  uint64_t sequence_number_ = 0;
+};
+
+}  // namespace rc4b
+
+#endif  // SRC_TLS_RECORD_H_

@@ -1,0 +1,38 @@
+#include "src/tls/session.h"
+
+#include <cassert>
+
+namespace rc4b {
+
+TlsVictimSession::TlsVictimSession(HttpRequestTemplate tmpl, Bytes cookie,
+                                   size_t keystream_alignment, Xoshiro256& rng)
+    : tmpl_(std::move(tmpl)),
+      cookie_(std::move(cookie)),
+      mac_key_(HmacSha1::kDigestSize),
+      rc4_key_(16),
+      writer_((rng.Fill(mac_key_), rng.Fill(rc4_key_),
+               TlsWriteState(mac_key_, rc4_key_))) {
+  // Each request consumes payload + MAC bytes of keystream. Keeping that
+  // stride a multiple of 256 makes one fixed in-request offset give a fixed
+  // keystream position modulo 256 for every request — the paper's alignment
+  // requirement (Sect. 6.3). 492 + 20 = 512: the "512-byte encrypted
+  // requests" its capture tool looks for.
+  assert(StreamStride() % 256 == 0);
+  tmpl_.cookie_alignment = keystream_alignment % 256;
+  shaped_ = BuildAlignedRequest(tmpl_, cookie_);
+}
+
+Bytes TlsVictimSession::NextRequest() {
+  ++requests_sent_;
+  return writer_.Seal(shaped_.plaintext);
+}
+
+size_t TlsVictimSession::CookieStreamPosition(uint64_t request_index) const {
+  return request_index * StreamStride() + shaped_.cookie_offset;
+}
+
+TlsReadState TlsVictimSession::MakeServerReader() const {
+  return TlsReadState(mac_key_, rc4_key_);
+}
+
+}  // namespace rc4b

@@ -1,0 +1,61 @@
+// A persistent HTTPS session under attack (Sect. 6.3).
+//
+// The victim's browser, driven by attacker-injected JavaScript, issues a
+// stream of same-origin HTTPS requests over one keep-alive TLS connection;
+// every request carries the secure cookie. One RC4 stream encrypts them all,
+// so long-term biases apply. The attacker observes only TLS records on the
+// wire. This module simulates the victim (and optionally the server) and
+// keeps the cookie aligned to a fixed keystream position modulo 256.
+#ifndef SRC_TLS_SESSION_H_
+#define SRC_TLS_SESSION_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/tls/http.h"
+#include "src/tls/record.h"
+
+namespace rc4b {
+
+class TlsVictimSession {
+ public:
+  // `keystream_alignment` is the required cookie position modulo 256 within
+  // the client->server RC4 keystream. Keys are drawn from `rng` (modelling
+  // the TLS key derivation as uniformly random, as the paper does).
+  TlsVictimSession(HttpRequestTemplate tmpl, Bytes cookie,
+                   size_t keystream_alignment, Xoshiro256& rng);
+
+  // Seals the next request; returns the full record (header || ciphertext).
+  Bytes NextRequest();
+
+  // Keystream position (0-based) of the first cookie byte in every request.
+  // Constant modulo 256 across requests by construction.
+  size_t CookieStreamPosition(uint64_t request_index) const;
+
+  // Bytes of RC4 stream consumed per request (payload + MAC).
+  size_t StreamStride() const { return tmpl_.total_size + HmacSha1::kDigestSize; }
+
+  const Bytes& cookie() const { return cookie_; }
+  const HttpRequestTemplate& request_template() const { return tmpl_; }
+
+  // Plaintext byte at a given offset of the (aligned) request — the
+  // attacker's "known plaintext" oracle for everything except the cookie.
+  const Bytes& RequestPlaintext() const { return shaped_.plaintext; }
+  size_t CookieOffsetInRequest() const { return shaped_.cookie_offset; }
+
+  // Server-side reader sharing the session keys (for end-to-end examples).
+  TlsReadState MakeServerReader() const;
+
+ private:
+  HttpRequestTemplate tmpl_;
+  Bytes cookie_;
+  Bytes mac_key_;
+  Bytes rc4_key_;
+  TlsWriteState writer_;
+  ShapedRequest shaped_;
+  uint64_t requests_sent_ = 0;
+};
+
+}  // namespace rc4b
+
+#endif  // SRC_TLS_SESSION_H_

@@ -1,0 +1,120 @@
+#include "src/biases/fluhrer_mcgrew.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace rc4b {
+namespace {
+
+constexpr uint64_t kLongTerm = 1 << 20;
+
+std::map<std::pair<int, int>, double> BiasMap(uint8_t i, uint64_t r) {
+  std::map<std::pair<int, int>, double> out;
+  for (const FmDigraph& d : FmDigraphsAt(i, r)) {
+    out[{d.v1, d.v2}] += d.relative_bias;
+  }
+  return out;
+}
+
+TEST(FmTest, LongTermGenericCounterHasExpectedCells) {
+  // i = 5: generic interior counter; expect the 8 classic digraphs.
+  const auto biases = BiasMap(5, kLongTerm);
+  EXPECT_DOUBLE_EQ(biases.at({0, 0}), 0x1.0p-8);
+  EXPECT_DOUBLE_EQ(biases.at({0, 1}), 0x1.0p-8);
+  EXPECT_DOUBLE_EQ(biases.at({0, 6}), -0x1.0p-8);     // (0, i+1)
+  EXPECT_DOUBLE_EQ(biases.at({6, 255}), 0x1.0p-8);    // (i+1, 255)
+  EXPECT_DOUBLE_EQ(biases.at({255, 6}), 0x1.0p-8);    // (255, i+1)
+  EXPECT_DOUBLE_EQ(biases.at({255, 7}), 0x1.0p-8);    // (255, i+2)
+  EXPECT_DOUBLE_EQ(biases.at({255, 255}), -0x1.0p-8);
+  EXPECT_EQ(biases.count({129, 129}), 0u);
+}
+
+TEST(FmTest, CounterOneDoublesZeroZero) {
+  const auto biases = BiasMap(1, kLongTerm);
+  EXPECT_DOUBLE_EQ(biases.at({0, 0}), 0x1.0p-7);
+  // (0,1) requires i != 0,1.
+  EXPECT_EQ(biases.count({0, 1}), 0u);
+}
+
+TEST(FmTest, Counter255SpecialCases) {
+  // Table 1: (0,0) requires i != 255; (0, i+1) requires i != 255 as well, so
+  // the (0,0) cell is unbiased exactly at i = 255.
+  const auto biases = BiasMap(255, kLongTerm);
+  EXPECT_EQ(biases.count({0, 0}), 0u);
+  EXPECT_DOUBLE_EQ(biases.at({255, 1}), 0x1.0p-8);
+  EXPECT_DOUBLE_EQ(biases.at({0, 255}), 0x1.0p-8);  // (i+1, 255) = (0, 255)
+}
+
+TEST(FmTest, Counter254SpecialCases) {
+  const auto biases = BiasMap(254, kLongTerm);
+  EXPECT_DOUBLE_EQ(biases.at({255, 0}), 0x1.0p-8);
+  // (i+1, 255) and (255, 255) are excluded at i = 254.
+  EXPECT_EQ(biases.count({255, 255}), 0u);
+}
+
+TEST(FmTest, Counter2Has129129) {
+  const auto biases = BiasMap(2, kLongTerm);
+  EXPECT_DOUBLE_EQ(biases.at({129, 129}), 0x1.0p-8);
+}
+
+TEST(FmTest, ShortTermExceptionsAtInitialPositions) {
+  // r = 1 drops (i+1, 255); r = 2 drops (129,129) and (255, i+2);
+  // r = 5 drops (255,255). These are the Table 1 conditions on r.
+  const auto at_r1 = BiasMap(1, 1);
+  EXPECT_EQ(at_r1.count({2, 255}), 0u);
+  const auto at_r2 = BiasMap(2, 2);
+  EXPECT_EQ(at_r2.count({129, 129}), 0u);
+  EXPECT_EQ(at_r2.count({255, 4}), 0u);
+  const auto at_r5 = BiasMap(5, 5);
+  EXPECT_EQ(at_r5.count({255, 255}), 0u);
+  // And they are present in the long-term regime at the same counters.
+  EXPECT_EQ(BiasMap(1, kLongTerm).count({2, 255}), 1u);
+  EXPECT_EQ(BiasMap(5, kLongTerm).count({255, 255}), 1u);
+}
+
+TEST(FmTest, TableNormalized) {
+  for (int i : {0, 1, 2, 5, 100, 254, 255}) {
+    const auto table = FmDigraphTable(static_cast<uint8_t>(i), kLongTerm);
+    double sum = 0.0;
+    for (double p : table) {
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "i=" << i;
+  }
+}
+
+TEST(FmTest, TableMatchesRelativeBiases) {
+  const auto table = FmDigraphTable(5, kLongTerm);
+  const double u = table[1 * 256 + 0];  // unbiased cell
+  EXPECT_NEAR(table[0 * 256 + 0] / u, 1.0 + 0x1.0p-8, 1e-9);
+  EXPECT_NEAR(table[255 * 256 + 255] / u, 1.0 - 0x1.0p-8, 1e-9);
+}
+
+TEST(FmTest, SparseModelConsistentWithDenseTable) {
+  for (int i : {0, 1, 37, 254, 255}) {
+    const auto table = FmDigraphTable(static_cast<uint8_t>(i), kLongTerm);
+    const auto sparse = FmSparseModel(static_cast<uint8_t>(i), kLongTerm);
+    // Reconstruct the dense table from the sparse model.
+    std::vector<double> rebuilt(65536, sparse.unbiased_probability);
+    for (const auto& [cell, p] : sparse.biased_cells) {
+      rebuilt[cell] = p;
+    }
+    for (size_t cell = 0; cell < 65536; ++cell) {
+      ASSERT_NEAR(rebuilt[cell], table[cell], 1e-15) << "i=" << i << " cell=" << cell;
+    }
+    EXPECT_LE(sparse.biased_cells.size(), 9u);
+    EXPECT_GE(sparse.biased_cells.size(), 4u);
+  }
+}
+
+TEST(FmTest, PrgaCounterMapping) {
+  EXPECT_EQ(PrgaCounterAtPosition(1), 1);
+  EXPECT_EQ(PrgaCounterAtPosition(255), 255);
+  EXPECT_EQ(PrgaCounterAtPosition(256), 0);
+  EXPECT_EQ(PrgaCounterAtPosition(257), 1);
+}
+
+}  // namespace
+}  // namespace rc4b

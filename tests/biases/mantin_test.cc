@@ -1,0 +1,57 @@
+#include "src/biases/mantin.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rc4b {
+namespace {
+
+TEST(MantinTest, AlphaAtGapZero) {
+  // alpha(0) = 2^-16 (1 + 2^-8 e^{-4/256}).
+  const double expected = 0x1.0p-16 * (1.0 + 0x1.0p-8 * std::exp(-4.0 / 256.0));
+  EXPECT_DOUBLE_EQ(AbsabAlpha(0), expected);
+}
+
+TEST(MantinTest, BiasDecaysWithGap) {
+  double prev = AbsabRelativeBias(0);
+  for (uint64_t g = 1; g <= 256; g *= 2) {
+    const double cur = AbsabRelativeBias(g);
+    EXPECT_LT(cur, prev);
+    EXPECT_GT(cur, 0.0);
+    prev = cur;
+  }
+}
+
+TEST(MantinTest, DecayRateMatchesFormula) {
+  // Each +32 of gap multiplies the relative bias by e^{-1}.
+  EXPECT_NEAR(AbsabRelativeBias(32) / AbsabRelativeBias(0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(AbsabRelativeBias(96) / AbsabRelativeBias(64), std::exp(-1.0), 1e-12);
+}
+
+TEST(MantinTest, AlphaAlwaysAboveUniform) {
+  for (uint64_t g = 0; g <= 512; ++g) {
+    EXPECT_GT(AbsabAlpha(g), 0x1.0p-16);
+  }
+}
+
+TEST(MantinTest, LogOddsApproximatesRelativeBias) {
+  // log(alpha / ((1-alpha)/65535)) ~ q - 2^-16 + alpha ~ q for small q.
+  for (uint64_t g : {0ull, 16ull, 64ull, 128ull}) {
+    const double q = AbsabRelativeBias(g);
+    EXPECT_NEAR(AbsabLogOdds(g), q, q * 0.02 + 1e-7) << "g=" << g;
+  }
+}
+
+TEST(MantinTest, LogOddsPositiveAndDecreasing) {
+  double prev = AbsabLogOdds(0);
+  for (uint64_t g = 1; g <= 128; ++g) {
+    const double cur = AbsabLogOdds(g);
+    EXPECT_GT(cur, 0.0);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace rc4b

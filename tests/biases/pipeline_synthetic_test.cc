@@ -1,0 +1,108 @@
+#include <cmath>
+// End-to-end validation of the Sect. 3 detection pipeline at paper-scale
+// sample counts, using the synthetic sampler: keystream pair counts drawn
+// from the analytic Fluhrer-McGrew distribution must drive the full
+// M-test -> proportion-test -> Holm pipeline to exactly the right cells with
+// the right signs.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/biases/bias_scan.h"
+#include "src/biases/fluhrer_mcgrew.h"
+#include "src/common/rng.h"
+#include "src/core/synthetic.h"
+#include "src/stats/counters.h"
+
+namespace rc4b {
+namespace {
+
+// Builds a one-row DigraphGrid from counts sampled out of the analytic FM
+// digraph distribution at counter i.
+DigraphGrid GridFromFmModel(uint8_t i, uint64_t trials, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const auto table = FmDigraphTable(i, 1 << 20);
+  const auto counts = SampleCounts(table, trials, rng);
+  DigraphGrid grid(1);
+  uint64_t total = 0;
+  for (size_t cell = 0; cell < counts.size(); ++cell) {
+    grid.Add(0, static_cast<uint8_t>(cell >> 8), static_cast<uint8_t>(cell & 0xff),
+             counts[cell]);
+    total += counts[cell];
+  }
+  grid.AddKeys(total);
+  return grid;
+}
+
+TEST(PipelineSyntheticTest, DetectsDependenceAtPaperScale) {
+  const auto grid = GridFromFmModel(5, uint64_t{1} << 40, 1);
+  const auto dependence = ScanPairDependence(grid);
+  EXPECT_TRUE(dependence[0].dependent);
+  EXPECT_LT(dependence[0].p_adjusted, 1e-10);
+}
+
+TEST(PipelineSyntheticTest, FindsExactlyTheFmCellsWithCorrectSigns) {
+  const uint8_t i = 5;
+  const auto grid = GridFromFmModel(i, uint64_t{1} << 40, 2);
+  const auto cells = FindBiasedCells(grid, 0);
+  ASSERT_FALSE(cells.empty());
+
+  std::map<std::pair<int, int>, double> expected;
+  for (const FmDigraph& d : FmDigraphsAt(i, 1 << 20)) {
+    expected[{d.v1, d.v2}] = d.relative_bias;
+  }
+  // Every certified cell must be a genuine FM cell (Holm controls the FWER,
+  // so no false positives are tolerated here)...
+  for (const auto& cell : cells) {
+    const auto it = expected.find({cell.v1, cell.v2});
+    ASSERT_NE(it, expected.end())
+        << "false positive at (" << int{cell.v1} << "," << int{cell.v2} << ")";
+    // ...with the right sign and roughly the right magnitude.
+    EXPECT_GT(cell.relative_bias * it->second, 0.0);
+    EXPECT_NEAR(cell.relative_bias, it->second, 0.35 * std::fabs(it->second));
+  }
+  // And at 2^40 samples (~16 sigma per cell) all FM cells must be found.
+  EXPECT_EQ(cells.size(), expected.size());
+}
+
+TEST(PipelineSyntheticTest, UniformModelYieldsNoDetections) {
+  // Same pipeline on truly uniform pair counts: nothing may be flagged.
+  Xoshiro256 rng(3);
+  const std::vector<double> uniform(65536, 0x1.0p-16);
+  const auto counts = SampleCounts(uniform, uint64_t{1} << 36, rng);
+  DigraphGrid grid(1);
+  uint64_t total = 0;
+  for (size_t cell = 0; cell < counts.size(); ++cell) {
+    grid.Add(0, static_cast<uint8_t>(cell >> 8), static_cast<uint8_t>(cell & 0xff),
+             counts[cell]);
+    total += counts[cell];
+  }
+  grid.AddKeys(total);
+  const auto dependence = ScanPairDependence(grid);
+  EXPECT_FALSE(dependence[0].dependent);
+  EXPECT_TRUE(FindBiasedCells(grid, 0).empty());
+}
+
+TEST(PipelineSyntheticTest, WeakerCounterClassesStillResolve) {
+  // Counters with special-case cells (i = 1 doubles (0,0); i = 254/255 have
+  // their own sets): the pipeline must find a consistent, sign-correct
+  // subset at 2^38 samples.
+  for (uint8_t i : {uint8_t{1}, uint8_t{254}, uint8_t{255}}) {
+    const auto grid = GridFromFmModel(i, uint64_t{1} << 38, 100 + i);
+    std::map<std::pair<int, int>, double> expected;
+    for (const FmDigraph& d : FmDigraphsAt(i, 1 << 20)) {
+      expected[{d.v1, d.v2}] += d.relative_bias;
+    }
+    const auto cells = FindBiasedCells(grid, 0);
+    EXPECT_GE(cells.size(), expected.size() / 2) << "i=" << int{i};
+    for (const auto& cell : cells) {
+      const auto it = expected.find({cell.v1, cell.v2});
+      ASSERT_NE(it, expected.end()) << "i=" << int{i} << " false positive at ("
+                                    << int{cell.v1} << "," << int{cell.v2} << ")";
+      EXPECT_GT(cell.relative_bias * it->second, 0.0) << "i=" << int{i};
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rc4b

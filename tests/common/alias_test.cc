@@ -1,0 +1,88 @@
+#include "src/common/alias.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rc4b {
+namespace {
+
+TEST(AliasTest, UniformWeights) {
+  std::vector<double> weights(16, 1.0);
+  AliasTable table(weights);
+  Xoshiro256 rng(1);
+  std::vector<int> counts(16, 0);
+  const int n = 160000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[table.Sample(rng)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 16, 6 * std::sqrt(n / 16.0));
+  }
+}
+
+TEST(AliasTest, SkewedWeightsMatchProbabilities) {
+  const std::vector<double> weights = {1.0, 2.0, 4.0, 8.0, 1.0};
+  const double total = 16.0;
+  AliasTable table(weights);
+  Xoshiro256 rng(2);
+  std::vector<int> counts(weights.size(), 0);
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[table.Sample(rng)];
+  }
+  for (size_t v = 0; v < weights.size(); ++v) {
+    const double expected = n * weights[v] / total;
+    EXPECT_NEAR(counts[v], expected, 6 * std::sqrt(expected)) << "value " << v;
+  }
+}
+
+TEST(AliasTest, ZeroWeightNeverSampled) {
+  const std::vector<double> weights = {0.0, 1.0, 0.0, 3.0};
+  AliasTable table(weights);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t v = table.Sample(rng);
+    EXPECT_TRUE(v == 1 || v == 3);
+  }
+}
+
+TEST(AliasTest, SingleOutcome) {
+  const std::vector<double> weights = {5.0};
+  AliasTable table(weights);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(table.Sample(rng), 0u);
+  }
+}
+
+TEST(AliasTest, UnnormalizedWeightsEquivalent) {
+  // Scaling all weights must not change the distribution.
+  const std::vector<double> a = {0.1, 0.3, 0.6};
+  const std::vector<double> b = {10.0, 30.0, 60.0};
+  AliasTable ta(a), tb(b);
+  Xoshiro256 ra(5), rb(5);  // same seed => same draws
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(ta.Sample(ra), tb.Sample(rb));
+  }
+}
+
+TEST(AliasTest, Rc4LikeDistribution) {
+  // A 256-value distribution with one mildly biased cell, the model-victim
+  // use case: the sampler must reproduce the bias to statistical accuracy.
+  std::vector<double> weights(256, 1.0);
+  weights[77] = 1.5;
+  AliasTable table(weights);
+  Xoshiro256 rng(6);
+  int hits = 0;
+  const int n = 1 << 22;
+  for (int i = 0; i < n; ++i) {
+    hits += table.Sample(rng) == 77 ? 1 : 0;
+  }
+  const double expected = n * 1.5 / 256.5;
+  EXPECT_NEAR(hits, expected, 6 * std::sqrt(expected));
+}
+
+}  // namespace
+}  // namespace rc4b

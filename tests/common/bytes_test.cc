@@ -1,0 +1,79 @@
+#include "src/common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace rc4b {
+namespace {
+
+TEST(BytesTest, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(ToHex(data), "0001abff7f");
+  EXPECT_EQ(FromHex("0001abff7f"), data);
+}
+
+TEST(BytesTest, HexUpperCaseAccepted) {
+  EXPECT_EQ(FromHex("DEADBEEF"), FromHex("deadbeef"));
+}
+
+TEST(BytesTest, EmptyHex) {
+  EXPECT_EQ(ToHex({}), "");
+  EXPECT_TRUE(FromHex("").empty());
+}
+
+TEST(BytesTest, FromString) {
+  const Bytes b = FromString("AB");
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 'A');
+  EXPECT_EQ(b[1], 'B');
+}
+
+TEST(BytesTest, XorIsSelfInverse) {
+  const Bytes a = FromHex("0123456789abcdef");
+  const Bytes b = FromHex("fedcba9876543210");
+  EXPECT_EQ(Xor(Xor(a, b), b), a);
+}
+
+TEST(BytesTest, XorAgainstZeroIsIdentity) {
+  const Bytes a = FromHex("a5a5a5");
+  const Bytes zero(3, 0);
+  EXPECT_EQ(Xor(a, zero), a);
+}
+
+TEST(BytesTest, Le32RoundTrip) {
+  uint8_t buf[4];
+  StoreLe32(0x12345678u, buf);
+  EXPECT_EQ(buf[0], 0x78);
+  EXPECT_EQ(buf[3], 0x12);
+  EXPECT_EQ(LoadLe32(buf), 0x12345678u);
+}
+
+TEST(BytesTest, Be16RoundTrip) {
+  uint8_t buf[2];
+  StoreBe16(0xbeef, buf);
+  EXPECT_EQ(buf[0], 0xbe);
+  EXPECT_EQ(LoadBe16(buf), 0xbeef);
+}
+
+TEST(BytesTest, Be32RoundTrip) {
+  uint8_t buf[4];
+  StoreBe32(0xcafebabeu, buf);
+  EXPECT_EQ(buf[0], 0xca);
+  EXPECT_EQ(LoadBe32(buf), 0xcafebabeu);
+}
+
+TEST(BytesTest, Be64Store) {
+  uint8_t buf[8];
+  StoreBe64(0x0102030405060708ull, buf);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[7], 8);
+}
+
+TEST(BytesTest, Rotations) {
+  EXPECT_EQ(Rotl32(0x80000000u, 1), 1u);
+  EXPECT_EQ(Rotr32(1u, 1), 0x80000000u);
+  EXPECT_EQ(Rotl32(0x12345678u, 32 - 4), Rotr32(0x12345678u, 4));
+  EXPECT_EQ(Rotl64(1ull, 63), 0x8000000000000000ull);
+}
+
+}  // namespace
+}  // namespace rc4b

@@ -1,0 +1,68 @@
+#include "src/common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace rc4b {
+namespace {
+
+TEST(FlagsTest, DefaultsUsedWhenNotPassed) {
+  FlagSet flags("test");
+  flags.Define("keys", "1024", "number of keys");
+  char prog[] = "prog";
+  char* argv[] = {prog};
+  ASSERT_TRUE(flags.Parse(1, argv));
+  EXPECT_EQ(flags.GetInt("keys"), 1024);
+}
+
+TEST(FlagsTest, EqualsForm) {
+  FlagSet flags("test");
+  flags.Define("keys", "0", "");
+  char prog[] = "prog";
+  char arg[] = "--keys=4096";
+  char* argv[] = {prog, arg};
+  ASSERT_TRUE(flags.Parse(2, argv));
+  EXPECT_EQ(flags.GetUint("keys"), 4096u);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  FlagSet flags("test");
+  flags.Define("name", "", "");
+  char prog[] = "prog";
+  char a1[] = "--name";
+  char a2[] = "hello";
+  char* argv[] = {prog, a1, a2};
+  ASSERT_TRUE(flags.Parse(3, argv));
+  EXPECT_EQ(flags.GetString("name"), "hello");
+}
+
+TEST(FlagsTest, HexIntegerParsed) {
+  FlagSet flags("test");
+  flags.Define("mask", "0xff", "");
+  char prog[] = "prog";
+  char* argv[] = {prog};
+  ASSERT_TRUE(flags.Parse(1, argv));
+  EXPECT_EQ(flags.GetInt("mask"), 255);
+}
+
+TEST(FlagsTest, DoubleAndBool) {
+  FlagSet flags("test");
+  flags.Define("rate", "0.5", "").Define("verbose", "false", "");
+  char prog[] = "prog";
+  char a1[] = "--rate=0.25";
+  char a2[] = "--verbose=true";
+  char* argv[] = {prog, a1, a2};
+  ASSERT_TRUE(flags.Parse(3, argv));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.25);
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, HelpReturnsFalse) {
+  FlagSet flags("test");
+  char prog[] = "prog";
+  char a1[] = "--help";
+  char* argv[] = {prog, a1};
+  EXPECT_FALSE(flags.Parse(2, argv));
+}
+
+}  // namespace
+}  // namespace rc4b

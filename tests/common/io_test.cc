@@ -1,0 +1,114 @@
+#include "src/common/io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/tkip/tsc_model.h"
+
+namespace rc4b {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(BinaryIoTest, U64RoundTrip) {
+  const std::string path = TempPath("u64s.bin");
+  {
+    BinaryWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    writer.WriteU64(0);
+    writer.WriteU64(0xdeadbeefcafef00dULL);
+  }
+  BinaryReader reader(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.ReadU64(), 0u);
+  EXPECT_EQ(reader.ReadU64(), 0xdeadbeefcafef00dULL);
+  EXPECT_TRUE(reader.ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, ArrayRoundTrip) {
+  const std::string path = TempPath("arrays.bin");
+  const std::vector<double> doubles = {1.5, -2.25, 0.0, 1e300};
+  const std::vector<uint64_t> ints = {1, 2, 3};
+  {
+    BinaryWriter writer(path);
+    writer.WriteDoubles(doubles);
+    writer.WriteU64s(ints);
+  }
+  BinaryReader reader(path);
+  std::vector<double> doubles_back(4);
+  std::vector<uint64_t> ints_back(3);
+  ASSERT_TRUE(reader.ReadDoubles(doubles_back));
+  ASSERT_TRUE(reader.ReadU64s(ints_back));
+  EXPECT_EQ(doubles_back, doubles);
+  EXPECT_EQ(ints_back, ints);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, ShortReadFails) {
+  const std::string path = TempPath("short.bin");
+  {
+    BinaryWriter writer(path);
+    writer.WriteU64(42);
+  }
+  BinaryReader reader(path);
+  reader.ReadU64();
+  reader.ReadU64();  // past end
+  EXPECT_FALSE(reader.ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, MissingFileNotOk) {
+  BinaryReader reader("/nonexistent/path/file.bin");
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(TscModelIoTest, SaveLoadRoundTrip) {
+  const std::string path = TempPath("model.bin");
+  TkipTscModel model(3, 5);
+  model.Generate(1 << 8, 7, 8);
+
+  ASSERT_TRUE(model.Save(path));
+  TkipTscModel loaded(3, 5);
+  ASSERT_TRUE(loaded.Load(path));
+  EXPECT_EQ(loaded.keys_per_class(), model.keys_per_class());
+  for (int tsc1 = 0; tsc1 < 256; tsc1 += 17) {
+    for (size_t pos = 3; pos <= 5; ++pos) {
+      for (int v = 0; v < 256; v += 31) {
+        ASSERT_DOUBLE_EQ(
+            loaded.LogProb(static_cast<uint8_t>(tsc1), pos, static_cast<uint8_t>(v)),
+            model.LogProb(static_cast<uint8_t>(tsc1), pos, static_cast<uint8_t>(v)));
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TscModelIoTest, LoadRejectsRangeMismatch) {
+  const std::string path = TempPath("model2.bin");
+  TkipTscModel model(3, 5);
+  model.Generate(1 << 6, 9, 8);
+  ASSERT_TRUE(model.Save(path));
+
+  TkipTscModel wrong_range(3, 6);
+  EXPECT_FALSE(wrong_range.Load(path));
+  std::remove(path.c_str());
+}
+
+TEST(TscModelIoTest, LoadRejectsGarbage) {
+  const std::string path = TempPath("garbage.bin");
+  {
+    BinaryWriter writer(path);
+    writer.WriteU64(12345);  // wrong magic
+  }
+  TkipTscModel model(1, 1);
+  EXPECT_FALSE(model.Load(path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rc4b

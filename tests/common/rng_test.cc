@@ -1,0 +1,101 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rc4b {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a() == b() ? 1 : 0;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(10), 10u);
+  }
+}
+
+TEST(RngTest, BelowRoughlyUniform) {
+  Xoshiro256 rng(11);
+  std::vector<int> buckets(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) {
+    ++buckets[rng.Below(8)];
+  }
+  for (int count : buckets) {
+    // 5-sigma band around n/8.
+    EXPECT_NEAR(count, n / 8, 5 * std::sqrt(n / 8.0));
+  }
+}
+
+TEST(RngTest, UnitDoubleInRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UnitDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Xoshiro256 rng(5);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.Normal();
+    sum += z;
+    sum2 += z * z;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, FillCoversAllBytePositions) {
+  Xoshiro256 rng(9);
+  Bytes buf(37, 0);  // deliberately not a multiple of 8
+  rng.Fill(buf);
+  // With 37 random bytes the chance that any fixed byte stays 0 is 1/256;
+  // check at least half are nonzero (overwhelmingly likely).
+  int nonzero = 0;
+  for (uint8_t b : buf) {
+    nonzero += b != 0 ? 1 : 0;
+  }
+  EXPECT_GT(nonzero, 18);
+}
+
+TEST(RngTest, ByteUsesHighBits) {
+  Xoshiro256 rng(13);
+  std::vector<int> seen(256, 0);
+  for (int i = 0; i < 65536; ++i) {
+    ++seen[rng.Byte()];
+  }
+  int missing = 0;
+  for (int c : seen) {
+    missing += c == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(missing, 0);  // every byte value should appear in 64k draws
+}
+
+}  // namespace
+}  // namespace rc4b

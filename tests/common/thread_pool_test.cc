@@ -1,0 +1,65 @@
+#include "src/common/thread_pool.h"
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rc4b {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForRunsAllWorkers) {
+  std::atomic<unsigned> count{0};
+  ParallelFor(8, [&](unsigned) { ++count; });
+  EXPECT_EQ(count.load(), 8u);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleWorkerRunsInline) {
+  unsigned ran = 0;
+  ParallelFor(1, [&](unsigned w) {
+    EXPECT_EQ(w, 0u);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 1u);
+}
+
+TEST(ThreadPoolTest, ChunksPartitionExactly) {
+  const uint64_t total = 1000;
+  std::mutex mutex;
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  ParallelChunks(total, 7, [&](unsigned, uint64_t begin, uint64_t end) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ranges.emplace_back(begin, end);
+  });
+  std::sort(ranges.begin(), ranges.end());
+  uint64_t expected_begin = 0;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_LT(begin, end);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, total);
+}
+
+TEST(ThreadPoolTest, ChunksWithFewerItemsThanWorkers) {
+  std::atomic<uint64_t> covered{0};
+  ParallelChunks(3, 16, [&](unsigned, uint64_t begin, uint64_t end) {
+    covered += end - begin;
+  });
+  EXPECT_EQ(covered.load(), 3u);
+}
+
+TEST(ThreadPoolTest, ChunksZeroTotalRunsNothing) {
+  std::atomic<int> calls{0};
+  ParallelChunks(0, 4, [&](unsigned, uint64_t, uint64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, DefaultWorkerCountPositive) {
+  EXPECT_GE(DefaultWorkerCount(), 1u);
+}
+
+}  // namespace
+}  // namespace rc4b

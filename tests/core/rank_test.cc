@@ -1,0 +1,186 @@
+#include "src/core/rank.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace rc4b {
+namespace {
+
+SingleByteTables RandomTables(size_t length, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  SingleByteTables tables(length, std::vector<double>(256));
+  for (auto& table : tables) {
+    for (auto& v : table) {
+      v = -rng.UnitDouble() * 8.0;
+    }
+  }
+  return tables;
+}
+
+// Exact rank by exhaustive enumeration (2 positions: 65536 candidates).
+uint64_t ExhaustiveRank(const SingleByteTables& tables, std::span<const uint8_t> truth) {
+  double truth_score = 0.0;
+  for (size_t r = 0; r < tables.size(); ++r) {
+    truth_score += tables[r][truth[r]];
+  }
+  uint64_t rank = 0;
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      const double s = tables[0][a] + tables[1][b];
+      if (s > truth_score) {
+        ++rank;
+      }
+    }
+  }
+  return rank;
+}
+
+TEST(IndependentRankTest, BracketsExhaustiveRank) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto tables = RandomTables(2, seed);
+    Xoshiro256 rng(100 + seed);
+    const std::vector<uint8_t> truth = {rng.Byte(), rng.Byte()};
+    const uint64_t exact = ExhaustiveRank(tables, truth);
+    const auto bracket = IndependentRank(tables, truth, 1 << 15);
+    EXPECT_LE(bracket.lower, static_cast<double>(exact) * 1.001 + 2) << "seed " << seed;
+    EXPECT_GE(bracket.upper + 2, static_cast<double>(exact) * 0.999) << "seed " << seed;
+  }
+}
+
+TEST(IndependentRankTest, BestCandidateHasRankZero) {
+  const auto tables = RandomTables(8, 11);
+  std::vector<uint8_t> best(8);
+  for (size_t r = 0; r < 8; ++r) {
+    best[r] = static_cast<uint8_t>(
+        std::max_element(tables[r].begin(), tables[r].end()) - tables[r].begin());
+  }
+  const auto bracket = IndependentRank(tables, best);
+  EXPECT_DOUBLE_EQ(bracket.lower, 0.0);
+  EXPECT_LE(bracket.upper, 2.0);  // quantization may pull in near-ties
+}
+
+TEST(IndependentRankTest, WorstCandidateHasHugeRank) {
+  const auto tables = RandomTables(6, 12);
+  std::vector<uint8_t> worst(6);
+  for (size_t r = 0; r < 6; ++r) {
+    worst[r] = static_cast<uint8_t>(
+        std::min_element(tables[r].begin(), tables[r].end()) - tables[r].begin());
+  }
+  const auto bracket = IndependentRank(tables, worst);
+  // 256^6 = 2^48 candidates; the worst one is near the bottom.
+  EXPECT_GT(bracket.estimate(), 1e12);
+}
+
+TEST(IndependentRankTest, RankGrowsWhenTruthScoreDrops) {
+  auto tables = RandomTables(4, 13);
+  const std::vector<uint8_t> truth = {1, 2, 3, 4};
+  // Make the truth progressively worse and require monotone rank growth.
+  double prev = -1.0;
+  for (double penalty : {0.0, 0.5, 1.0, 2.0}) {
+    auto modified = tables;
+    for (size_t r = 0; r < 4; ++r) {
+      modified[r][truth[r]] -= penalty;
+    }
+    const double rank = IndependentRank(modified, truth).estimate();
+    EXPECT_GE(rank, prev);
+    prev = rank;
+  }
+}
+
+DoubleByteTables RandomTransitions(size_t count, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  DoubleByteTables tables(count, std::vector<double>(65536));
+  for (auto& table : tables) {
+    for (auto& v : table) {
+      v = -rng.UnitDouble() * 4.0;
+    }
+  }
+  return tables;
+}
+
+// Exhaustive Markov rank over a small alphabet.
+uint64_t ExhaustiveMarkovRank(const DoubleByteTables& transitions, uint8_t m1,
+                              uint8_t m_last, std::span<const uint8_t> truth,
+                              std::span<const uint8_t> alphabet) {
+  const size_t inner = truth.size();
+  double truth_score = transitions[0][static_cast<size_t>(m1) * 256 + truth[0]];
+  for (size_t t = 1; t < inner; ++t) {
+    truth_score +=
+        transitions[t][static_cast<size_t>(truth[t - 1]) * 256 + truth[t]];
+  }
+  truth_score +=
+      transitions[inner][static_cast<size_t>(truth[inner - 1]) * 256 + m_last];
+
+  uint64_t rank = 0;
+  std::vector<size_t> idx(inner, 0);
+  while (true) {
+    double score = transitions[0][static_cast<size_t>(m1) * 256 + alphabet[idx[0]]];
+    for (size_t t = 1; t < inner; ++t) {
+      score += transitions[t][static_cast<size_t>(alphabet[idx[t - 1]]) * 256 +
+                              alphabet[idx[t]]];
+    }
+    score += transitions[inner][static_cast<size_t>(alphabet[idx[inner - 1]]) * 256 +
+                                m_last];
+    if (score > truth_score) {
+      ++rank;
+    }
+    size_t pos = 0;
+    while (pos < inner && ++idx[pos] == alphabet.size()) {
+      idx[pos] = 0;
+      ++pos;
+    }
+    if (pos == inner) {
+      break;
+    }
+  }
+  return rank;
+}
+
+TEST(MarkovRankTest, BracketsExhaustiveRank) {
+  const std::vector<uint8_t> alphabet = {'a', 'b', 'c', 'd', 'e', 'f'};
+  for (uint64_t seed = 20; seed <= 23; ++seed) {
+    const auto transitions = RandomTransitions(5, seed);  // 4 unknown bytes
+    Xoshiro256 rng(seed);
+    std::vector<uint8_t> truth(4);
+    for (auto& b : truth) {
+      b = alphabet[rng.Below(alphabet.size())];
+    }
+    const uint64_t exact =
+        ExhaustiveMarkovRank(transitions, 'X', 'Y', truth, alphabet);
+    const auto bracket = MarkovRank(transitions, 'X', 'Y', truth, alphabet, 1 << 14);
+    EXPECT_LE(bracket.lower, static_cast<double>(exact) * 1.02 + 3) << "seed " << seed;
+    EXPECT_GE(bracket.upper + 3, static_cast<double>(exact) * 0.98) << "seed " << seed;
+  }
+}
+
+TEST(MarkovRankTest, ViterbiPathHasRankZero) {
+  const std::vector<uint8_t> alphabet = {'0', '1', '2', '3'};
+  const auto transitions = RandomTransitions(6, 30);
+  const Bytes best = MarkovBest(transitions, 'A', 'Z', 5, alphabet);
+  const auto bracket = MarkovRank(transitions, 'A', 'Z', best, alphabet);
+  EXPECT_DOUBLE_EQ(bracket.lower, 0.0);
+}
+
+TEST(MarkovBestTest, MatchesExhaustiveArgmax) {
+  const std::vector<uint8_t> alphabet = {'a', 'b', 'c'};
+  const auto transitions = RandomTransitions(4, 31);  // 3 unknown bytes
+  const Bytes best = MarkovBest(transitions, 'S', 'E', 3, alphabet);
+  // Its exhaustive rank must be zero.
+  EXPECT_EQ(ExhaustiveMarkovRank(transitions, 'S', 'E', best, alphabet), 0u);
+}
+
+TEST(MarkovBestTest, LengthAndAlphabetRespected) {
+  const std::vector<uint8_t> alphabet = {'q', 'w'};
+  const auto transitions = RandomTransitions(8, 32);
+  const Bytes best = MarkovBest(transitions, 'S', 'E', 7, alphabet);
+  ASSERT_EQ(best.size(), 7u);
+  for (uint8_t b : best) {
+    EXPECT_TRUE(b == 'q' || b == 'w');
+  }
+}
+
+}  // namespace
+}  // namespace rc4b

@@ -1,0 +1,104 @@
+#include "src/crypto/aes128.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+
+namespace rc4b {
+namespace {
+
+// FIPS-197 Appendix C.1 known-answer vector.
+TEST(Aes128Test, Fips197Vector) {
+  const Bytes key = FromHex("000102030405060708090a0b0c0d0e0f");
+  const Bytes plaintext = FromHex("00112233445566778899aabbccddeeff");
+  Aes128 aes(key);
+  uint8_t out[16];
+  aes.EncryptBlock(plaintext.data(), out);
+  EXPECT_EQ(ToHex(std::span<const uint8_t>(out, 16)),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+// FIPS-197 Appendix B worked example.
+TEST(Aes128Test, Fips197AppendixB) {
+  const Bytes key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes plaintext = FromHex("3243f6a8885a308d313198a2e0370734");
+  Aes128 aes(key);
+  uint8_t out[16];
+  aes.EncryptBlock(plaintext.data(), out);
+  EXPECT_EQ(ToHex(std::span<const uint8_t>(out, 16)),
+            "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(Aes128Test, SBoxKnownEntries) {
+  const auto& sbox = Aes128::SBox();
+  EXPECT_EQ(sbox[0x00], 0x63);
+  EXPECT_EQ(sbox[0x01], 0x7c);
+  EXPECT_EQ(sbox[0x53], 0xed);
+  EXPECT_EQ(sbox[0xff], 0x16);
+}
+
+TEST(Aes128Test, SBoxIsPermutation) {
+  const auto& sbox = Aes128::SBox();
+  std::array<int, 256> seen{};
+  for (int i = 0; i < 256; ++i) {
+    ++seen[sbox[i]];
+  }
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(seen[i], 1) << "value " << i;
+  }
+}
+
+TEST(Aes128Test, InPlaceEncryption) {
+  const Bytes key = FromHex("000102030405060708090a0b0c0d0e0f");
+  Bytes block = FromHex("00112233445566778899aabbccddeeff");
+  Aes128 aes(key);
+  aes.EncryptBlock(block.data(), block.data());
+  EXPECT_EQ(ToHex(block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128CtrTest, DeterministicAndSeekable) {
+  const Bytes key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  Aes128Ctr a(key);
+  Bytes first(48);
+  a.Generate(first);
+
+  Aes128Ctr b(key);
+  Bytes again(48);
+  b.Generate(again);
+  EXPECT_EQ(first, again);
+
+  // Seek to block 1 (byte offset 16) and compare.
+  Aes128Ctr c(key);
+  c.Seek(1);
+  Bytes tail(32);
+  c.Generate(tail);
+  EXPECT_EQ(Bytes(first.begin() + 16, first.end()), tail);
+}
+
+TEST(Aes128CtrTest, UnalignedReadsMatchAlignedStream) {
+  const Bytes key = FromHex("000102030405060708090a0b0c0d0e0f");
+  Aes128Ctr a(key);
+  Bytes aligned(64);
+  a.Generate(aligned);
+
+  Aes128Ctr b(key);
+  Bytes pieces;
+  for (size_t chunk : {3u, 7u, 16u, 1u, 21u, 16u}) {
+    Bytes piece(chunk);
+    b.Generate(piece);
+    pieces.insert(pieces.end(), piece.begin(), piece.end());
+  }
+  EXPECT_EQ(Bytes(aligned.begin(), aligned.begin() + pieces.size()), pieces);
+}
+
+TEST(Aes128CtrTest, DistinctBlocksDiffer) {
+  const Bytes key = FromHex("000102030405060708090a0b0c0d0e0f");
+  Aes128Ctr ctr(key);
+  Bytes b1(16), b2(16);
+  ctr.Generate(b1);
+  ctr.Generate(b2);
+  EXPECT_NE(b1, b2);
+}
+
+}  // namespace
+}  // namespace rc4b

@@ -1,0 +1,75 @@
+#include "src/crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+
+namespace rc4b {
+namespace {
+
+// RFC 2202 HMAC-SHA1 test cases.
+TEST(HmacTest, Rfc2202Case1) {
+  const Bytes key(20, 0x0b);
+  const Bytes data = FromString("Hi There");
+  EXPECT_EQ(ToHex(HmacSha1::Digest(key, data)),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacTest, Rfc2202Case2) {
+  const Bytes key = FromString("Jefe");
+  const Bytes data = FromString("what do ya want for nothing?");
+  EXPECT_EQ(ToHex(HmacSha1::Digest(key, data)),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacTest, Rfc2202Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(ToHex(HmacSha1::Digest(key, data)),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(HmacTest, Rfc2202Case4) {
+  const Bytes key = FromHex("0102030405060708090a0b0c0d0e0f10111213141516171819");
+  const Bytes data(50, 0xcd);
+  EXPECT_EQ(ToHex(HmacSha1::Digest(key, data)),
+            "4c9007f4026250c6bc8414f9bf50c86c2d7235da");
+}
+
+// RFC 2202 case 6: key longer than the block size gets hashed first.
+TEST(HmacTest, Rfc2202LongKey) {
+  const Bytes key(80, 0xaa);
+  const Bytes data = FromString("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(ToHex(HmacSha1::Digest(key, data)),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+TEST(HmacTest, StreamingMatchesOneShot) {
+  const Bytes key = FromString("streaming-key");
+  const Bytes data = FromString("part one and part two");
+  HmacSha1 mac(key);
+  mac.Update(std::span<const uint8_t>(data.data(), 8));
+  mac.Update(std::span<const uint8_t>(data.data() + 8, data.size() - 8));
+  EXPECT_EQ(ToHex(mac.Finish()), ToHex(HmacSha1::Digest(key, data)));
+}
+
+TEST(HmacTest, ReusableAfterFinish) {
+  const Bytes key = FromString("key");
+  const Bytes data = FromString("message");
+  HmacSha1 mac(key);
+  mac.Update(data);
+  const auto first = mac.Finish();
+  mac.Update(data);
+  const auto second = mac.Finish();
+  EXPECT_EQ(ToHex(first), ToHex(second));
+}
+
+TEST(HmacTest, DifferentKeysDifferentMacs) {
+  const Bytes data = FromString("same message");
+  const auto a = HmacSha1::Digest(FromString("key-a"), data);
+  const auto b = HmacSha1::Digest(FromString("key-b"), data);
+  EXPECT_NE(ToHex(a), ToHex(b));
+}
+
+}  // namespace
+}  // namespace rc4b

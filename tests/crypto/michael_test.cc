@@ -1,0 +1,97 @@
+#include "src/crypto/michael.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+
+namespace rc4b {
+namespace {
+
+// IEEE 802.11 Michael test vectors (the chained table from the standard's
+// annex: each row's key is the previous row's MIC).
+struct ChainedVector {
+  const char* key_hex;
+  const char* message;
+  const char* mic_hex;
+};
+
+constexpr ChainedVector kChain[] = {
+    {"0000000000000000", "", "82925c1ca1d130b8"},
+    {"82925c1ca1d130b8", "M", "434721ca40639b3f"},
+    {"434721ca40639b3f", "Mi", "e8f9becae97e5d29"},
+    {"e8f9becae97e5d29", "Mic", "90038fc6cf13c1db"},
+    {"90038fc6cf13c1db", "Mich", "d55e100510128986"},
+    {"d55e100510128986", "Michael", "0a942b124ecaa546"},
+};
+
+class MichaelChainTest : public ::testing::TestWithParam<ChainedVector> {};
+
+TEST_P(MichaelChainTest, MatchesStandardVector) {
+  const ChainedVector& v = GetParam();
+  const MichaelKey key = MichaelKeyFromBytes(FromHex(v.key_hex));
+  const auto mic = MichaelMic(key, FromString(v.message));
+  EXPECT_EQ(ToHex(mic), v.mic_hex);
+}
+
+TEST_P(MichaelChainTest, KeyRecoveredFromMic) {
+  const ChainedVector& v = GetParam();
+  const MichaelKey key = MichaelKeyFromBytes(FromHex(v.key_hex));
+  const Bytes message = FromString(v.message);
+  const auto mic = MichaelMic(key, message);
+  EXPECT_EQ(MichaelRecoverKey(message, mic), key);
+}
+
+INSTANTIATE_TEST_SUITE_P(StandardVectors, MichaelChainTest,
+                         ::testing::ValuesIn(kChain));
+
+TEST(MichaelTest, KeyBytesRoundTrip) {
+  const Bytes raw = FromHex("0123456789abcdef");
+  const MichaelKey key = MichaelKeyFromBytes(raw);
+  const auto back = MichaelKeyToBytes(key);
+  EXPECT_EQ(Bytes(back.begin(), back.end()), raw);
+}
+
+// Property: key recovery inverts the MIC for random keys and messages of
+// every padding-relevant length. This is the Tews/Beck attack primitive the
+// TKIP attack relies on (Sect. 5.3 of the paper).
+class MichaelInversionTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MichaelInversionTest, RecoverKeyIsExactInverse) {
+  const size_t length = GetParam();
+  Xoshiro256 rng(1000 + length);
+  for (int trial = 0; trial < 50; ++trial) {
+    MichaelKey key{static_cast<uint32_t>(rng()), static_cast<uint32_t>(rng())};
+    Bytes message(length);
+    rng.Fill(message);
+    const auto mic = MichaelMic(key, message);
+    EXPECT_EQ(MichaelRecoverKey(message, mic), key);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPaddings, MichaelInversionTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8, 63, 64, 65,
+                                           1500));
+
+TEST(MichaelTest, MicDependsOnEveryMessageByte) {
+  Xoshiro256 rng(7);
+  MichaelKey key{static_cast<uint32_t>(rng()), static_cast<uint32_t>(rng())};
+  Bytes message(32);
+  rng.Fill(message);
+  const auto baseline = MichaelMic(key, message);
+  for (size_t i = 0; i < message.size(); ++i) {
+    Bytes mutated = message;
+    mutated[i] ^= 0x01;
+    EXPECT_NE(ToHex(MichaelMic(key, mutated)), ToHex(baseline)) << "byte " << i;
+  }
+}
+
+TEST(MichaelTest, HeaderLayout) {
+  const Bytes da = FromHex("aabbccddeeff");
+  const Bytes sa = FromHex("112233445566");
+  const auto header = MichaelHeader(da, sa, 5);
+  EXPECT_EQ(ToHex(header), "aabbccddeeff11223344556605000000");
+}
+
+}  // namespace
+}  // namespace rc4b

@@ -1,0 +1,125 @@
+#include "src/net/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace rc4b {
+namespace {
+
+Ipv4Header TestIp() {
+  Ipv4Header ip;
+  ip.source = 0xc0a80164;       // 192.168.1.100
+  ip.destination = 0x5db8d822;  // example public address
+  ip.ttl = 64;
+  ip.identification = 0x1234;
+  return ip;
+}
+
+TcpHeader TestTcp() {
+  TcpHeader tcp;
+  tcp.source_port = 52345;
+  tcp.destination_port = 80;
+  tcp.sequence = 0x01020304;
+  tcp.acknowledgement = 0x0a0b0c0d;
+  return tcp;
+}
+
+TEST(ChecksumTest, Rfc1071Example) {
+  // Classic worked example: 0x0001f203f4f5f6f7 -> checksum 0x220d.
+  const Bytes data = FromHex("0001f203f4f5f6f7");
+  EXPECT_EQ(InternetChecksum(data), 0x220d);
+}
+
+TEST(ChecksumTest, OddLengthHandled) {
+  const Bytes data = FromHex("0102030405");
+  // Manually: 0x0102 + 0x0304 + 0x0500 = 0x0906 -> ~ = 0xf6f9.
+  EXPECT_EQ(InternetChecksum(data), 0xf6f9);
+}
+
+TEST(LlcSnapTest, SerializesIpv4Encapsulation) {
+  const Bytes llc = LlcSnapHeader{}.Serialize();
+  EXPECT_EQ(ToHex(llc), "aaaa030000000800");
+  EXPECT_EQ(llc.size(), LlcSnapHeader::kSize);
+}
+
+TEST(Ipv4Test, SerializedChecksumValid) {
+  const Bytes header = TestIp().Serialize(100);
+  ASSERT_EQ(header.size(), Ipv4Header::kSize);
+  EXPECT_TRUE(VerifyIpv4Checksum(header));
+  EXPECT_EQ(LoadBe16(header.data() + 2), Ipv4Header::kSize + 100);
+}
+
+TEST(Ipv4Test, ChecksumDetectsTtlChange) {
+  Bytes header = TestIp().Serialize(0);
+  EXPECT_TRUE(VerifyIpv4Checksum(header));
+  header[8] ^= 0x01;  // flip a TTL bit
+  EXPECT_FALSE(VerifyIpv4Checksum(header));
+}
+
+TEST(TcpTest, SerializedChecksumValid) {
+  const Ipv4Header ip = TestIp();
+  const Bytes payload = FromString("payload");
+  const Bytes tcp = TestTcp().Serialize(ip, payload);
+  ASSERT_EQ(tcp.size(), TcpHeader::kSize);
+
+  Bytes segment = tcp;
+  segment.insert(segment.end(), payload.begin(), payload.end());
+  const Bytes ip_bytes = ip.Serialize(segment.size());
+  EXPECT_TRUE(VerifyTcpChecksum(ip_bytes, segment));
+}
+
+TEST(TcpTest, ChecksumDetectsPortChange) {
+  const Ipv4Header ip = TestIp();
+  const Bytes payload = FromString("x");
+  Bytes segment = TestTcp().Serialize(ip, payload);
+  segment.insert(segment.end(), payload.begin(), payload.end());
+  const Bytes ip_bytes = ip.Serialize(segment.size());
+  ASSERT_TRUE(VerifyTcpChecksum(ip_bytes, segment));
+  segment[0] ^= 0x40;  // source port bit
+  EXPECT_FALSE(VerifyTcpChecksum(ip_bytes, segment));
+}
+
+TEST(TcpTest, ChecksumCoversPseudoHeaderAddresses) {
+  const Ipv4Header ip = TestIp();
+  const Bytes payload = FromString("data");
+  Bytes segment = TestTcp().Serialize(ip, payload);
+  segment.insert(segment.end(), payload.begin(), payload.end());
+  Ipv4Header other_ip = ip;
+  other_ip.source ^= 1;  // different internal IP -> checksum must fail
+  EXPECT_FALSE(VerifyTcpChecksum(other_ip.Serialize(segment.size()), segment));
+}
+
+TEST(BuildTcpPacketTest, LayoutMatchesFig2) {
+  // LLC/SNAP(8) + IP(20) + TCP(20) = 48 bytes of headers, then payload —
+  // exactly the structure the TKIP attack's injected packet relies on.
+  const Bytes payload = FromString("7bytes!");
+  const Bytes packet = BuildTcpPacket(LlcSnapHeader{}, TestIp(), TestTcp(), payload);
+  ASSERT_EQ(packet.size(), 48u + 7u);
+  EXPECT_EQ(packet[0], 0xaa);                       // LLC
+  EXPECT_EQ(packet[8] >> 4, 4);                     // IP version
+  EXPECT_TRUE(VerifyIpv4Checksum(std::span<const uint8_t>(packet).subspan(8, 20)));
+  EXPECT_EQ(Bytes(packet.end() - 7, packet.end()), payload);
+}
+
+TEST(BuildTcpPacketTest, CandidatePruningRecoversUnknownHeaderFields) {
+  // Sect. 5.3: the internal IP / port / TTL can be recovered by enumerating
+  // values and keeping those with valid checksums. Verify uniqueness here:
+  // only the true TTL validates once everything else is fixed.
+  const Ipv4Header ip = TestIp();
+  const Bytes ip_bytes = ip.Serialize(20);
+  int valid = 0;
+  int valid_ttl = -1;
+  for (int ttl = 1; ttl <= 255; ++ttl) {
+    Bytes candidate = ip_bytes;
+    candidate[8] = static_cast<uint8_t>(ttl);
+    // Keep the checksum bytes as captured; only the true TTL matches them.
+    if (VerifyIpv4Checksum(candidate)) {
+      ++valid;
+      valid_ttl = ttl;
+    }
+  }
+  EXPECT_EQ(valid, 1);
+  EXPECT_EQ(valid_ttl, ip.ttl);
+}
+
+}  // namespace
+}  // namespace rc4b

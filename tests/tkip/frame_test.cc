@@ -1,0 +1,126 @@
+#include "src/tkip/frame.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/crypto/crc32.h"
+
+namespace rc4b {
+namespace {
+
+TkipPeer TestPeer(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  TkipPeer peer;
+  rng.Fill(peer.tk);
+  peer.mic_key = MichaelKey{static_cast<uint32_t>(rng()), static_cast<uint32_t>(rng())};
+  rng.Fill(peer.ta);
+  rng.Fill(peer.da);
+  rng.Fill(peer.sa);
+  peer.priority = 0;
+  return peer;
+}
+
+Bytes TestMsdu(uint64_t seed, size_t size = 55) {
+  Xoshiro256 rng(seed * 31);
+  Bytes msdu(size);
+  rng.Fill(msdu);
+  return msdu;
+}
+
+TEST(TkipFrameTest, EncapDecapRoundTrip) {
+  const TkipPeer peer = TestPeer(1);
+  const Bytes msdu = TestMsdu(1);
+  const TkipFrame frame = TkipEncapsulate(peer, msdu, 42);
+  const auto decapped = TkipDecapsulate(peer, frame);
+  ASSERT_TRUE(decapped.has_value());
+  EXPECT_EQ(*decapped, msdu);
+}
+
+TEST(TkipFrameTest, FrameSizeIncludesTrailer) {
+  const TkipPeer peer = TestPeer(2);
+  const Bytes msdu = TestMsdu(2, 100);
+  const TkipFrame frame = TkipEncapsulate(peer, msdu, 7);
+  EXPECT_EQ(frame.ciphertext.size(), 100u + kTkipTrailerSize);
+}
+
+TEST(TkipFrameTest, TamperedCiphertextRejected) {
+  const TkipPeer peer = TestPeer(3);
+  const Bytes msdu = TestMsdu(3);
+  TkipFrame frame = TkipEncapsulate(peer, msdu, 9);
+  frame.ciphertext[10] ^= 0x01;
+  EXPECT_FALSE(TkipDecapsulate(peer, frame).has_value());
+}
+
+TEST(TkipFrameTest, WrongTscRejected) {
+  const TkipPeer peer = TestPeer(4);
+  const Bytes msdu = TestMsdu(4);
+  TkipFrame frame = TkipEncapsulate(peer, msdu, 100);
+  frame.tsc = 101;  // replay with modified counter -> different RC4 key
+  EXPECT_FALSE(TkipDecapsulate(peer, frame).has_value());
+}
+
+TEST(TkipFrameTest, WrongMicKeyRejected) {
+  const TkipPeer sender = TestPeer(5);
+  TkipPeer receiver = sender;
+  receiver.mic_key.l ^= 1;
+  const TkipFrame frame = TkipEncapsulate(sender, TestMsdu(5), 3);
+  EXPECT_FALSE(TkipDecapsulate(receiver, frame).has_value());
+}
+
+TEST(TkipFrameTest, TrailerStructure) {
+  const TkipPeer peer = TestPeer(6);
+  const Bytes msdu = TestMsdu(6);
+  const Bytes trailer = TkipTrailer(peer, msdu);
+  ASSERT_EQ(trailer.size(), kTkipTrailerSize);
+  // ICV = CRC32(msdu || mic), little-endian.
+  Bytes covered = msdu;
+  covered.insert(covered.end(), trailer.begin(), trailer.begin() + 8);
+  EXPECT_EQ(LoadLe32(trailer.data() + 8), Crc32(covered));
+}
+
+TEST(TkipFrameTest, DifferentTscsYieldUnrelatedCiphertexts) {
+  const TkipPeer peer = TestPeer(7);
+  const Bytes msdu = TestMsdu(7);
+  const TkipFrame f1 = TkipEncapsulate(peer, msdu, 1);
+  const TkipFrame f2 = TkipEncapsulate(peer, msdu, 2);
+  ASSERT_EQ(f1.ciphertext.size(), f2.ciphertext.size());
+  size_t differing = 0;
+  for (size_t i = 0; i < f1.ciphertext.size(); ++i) {
+    differing += f1.ciphertext[i] != f2.ciphertext[i] ? 1 : 0;
+  }
+  // Same plaintext, different keystream: expect ~255/256 of bytes to differ.
+  EXPECT_GT(differing, f1.ciphertext.size() * 3 / 4);
+}
+
+TEST(TkipFrameTest, ShortFrameRejected) {
+  const TkipPeer peer = TestPeer(8);
+  TkipFrame frame;
+  frame.tsc = 1;
+  frame.ciphertext = Bytes(4, 0);
+  EXPECT_FALSE(TkipDecapsulate(peer, frame).has_value());
+}
+
+TEST(TkipFrameTest, MicKeyRecoverableFromDecryptedFrame) {
+  // End-to-end property behind the attack: plaintext MSDU + decrypted MIC
+  // suffice to derive the Michael key and forge new frames.
+  const TkipPeer peer = TestPeer(9);
+  const Bytes msdu = TestMsdu(9);
+  const Bytes trailer = TkipTrailer(peer, msdu);
+
+  const auto header = MichaelHeader(peer.da, peer.sa, peer.priority);
+  Bytes authenticated(header.begin(), header.end());
+  authenticated.insert(authenticated.end(), msdu.begin(), msdu.end());
+  const MichaelKey recovered = MichaelRecoverKey(
+      authenticated, std::span<const uint8_t>(trailer.data(), 8));
+  EXPECT_EQ(recovered, peer.mic_key);
+
+  // Forge: encapsulate a different payload with the recovered key.
+  TkipPeer forger = peer;
+  forger.mic_key = recovered;
+  const Bytes forged_msdu = TestMsdu(10, 60);
+  const TkipFrame forged = TkipEncapsulate(forger, forged_msdu, 1000);
+  EXPECT_TRUE(TkipDecapsulate(peer, forged).has_value());
+}
+
+}  // namespace
+}  // namespace rc4b

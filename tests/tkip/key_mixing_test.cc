@@ -1,0 +1,133 @@
+#include <cmath>
+#include "src/tkip/key_mixing.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+
+namespace rc4b {
+namespace {
+
+std::array<uint8_t, 16> RandomTk(Xoshiro256& rng) {
+  std::array<uint8_t, 16> tk;
+  rng.Fill(tk);
+  return tk;
+}
+
+std::array<uint8_t, 6> RandomTa(Xoshiro256& rng) {
+  std::array<uint8_t, 6> ta;
+  rng.Fill(ta);
+  return ta;
+}
+
+TEST(KeyMixingTest, PublicKeyBytesFormula) {
+  // Sect. 2.2: K0 = TSC1, K1 = (TSC1 | 0x20) & 0x7f, K2 = TSC0.
+  const auto pub = TkipPublicKeyBytes(0xab12);
+  EXPECT_EQ(pub[0], 0xab);
+  EXPECT_EQ(pub[1], (0xab | 0x20) & 0x7f);
+  EXPECT_EQ(pub[2], 0x12);
+}
+
+TEST(KeyMixingTest, MixedKeyStartsWithPublicBytes) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 64; ++trial) {
+    const auto tk = RandomTk(rng);
+    const auto ta = RandomTa(rng);
+    const uint64_t tsc = rng() & 0xffffffffffffull;
+    const auto key = TkipMixKey(tk, ta, tsc);
+    const auto pub = TkipPublicKeyBytes(static_cast<uint16_t>(tsc));
+    EXPECT_EQ(key[0], pub[0]);
+    EXPECT_EQ(key[1], pub[1]);
+    EXPECT_EQ(key[2], pub[2]);
+  }
+}
+
+TEST(KeyMixingTest, WeakKeyAvoidanceBitPattern) {
+  // K1 always has bit 5 set and bit 7 clear — the FMS weak-key countermeasure.
+  Xoshiro256 rng(2);
+  for (int trial = 0; trial < 256; ++trial) {
+    const auto pub = TkipPublicKeyBytes(static_cast<uint16_t>(rng()));
+    EXPECT_NE(pub[1] & 0x20, 0);
+    EXPECT_EQ(pub[1] & 0x80, 0);
+  }
+}
+
+TEST(KeyMixingTest, Deterministic) {
+  Xoshiro256 rng(3);
+  const auto tk = RandomTk(rng);
+  const auto ta = RandomTa(rng);
+  EXPECT_EQ(TkipMixKey(tk, ta, 0x123456789abc), TkipMixKey(tk, ta, 0x123456789abc));
+}
+
+TEST(KeyMixingTest, TscChangesKey) {
+  Xoshiro256 rng(4);
+  const auto tk = RandomTk(rng);
+  const auto ta = RandomTa(rng);
+  const auto k1 = TkipMixKey(tk, ta, 1);
+  const auto k2 = TkipMixKey(tk, ta, 2);
+  EXPECT_NE(k1, k2);
+}
+
+TEST(KeyMixingTest, TemporalKeyChangesKey) {
+  Xoshiro256 rng(5);
+  const auto ta = RandomTa(rng);
+  const auto k1 = TkipMixKey(RandomTk(rng), ta, 7);
+  const auto k2 = TkipMixKey(RandomTk(rng), ta, 7);
+  EXPECT_NE(k1, k2);
+}
+
+TEST(KeyMixingTest, TransmitterAddressChangesKey) {
+  Xoshiro256 rng(6);
+  const auto tk = RandomTk(rng);
+  const auto k1 = TkipMixKey(tk, RandomTa(rng), 7);
+  const auto k2 = TkipMixKey(tk, RandomTa(rng), 7);
+  EXPECT_NE(k1, k2);
+}
+
+TEST(KeyMixingTest, Phase1OnlyDependsOnUpperTscBits) {
+  Xoshiro256 rng(7);
+  const auto tk = RandomTk(rng);
+  const auto ta = RandomTa(rng);
+  // Same IV32, different IV16: phase 1 output identical.
+  EXPECT_EQ(TkipPhase1(tk, ta, 0xdeadbeef), TkipPhase1(tk, ta, 0xdeadbeef));
+  const auto p1 = TkipPhase1(tk, ta, 0xdeadbeef);
+  EXPECT_NE(TkipPhase2(p1, tk, 0x0001), TkipPhase2(p1, tk, 0x0002));
+}
+
+TEST(KeyMixingTest, KeyTailLooksUniformAcrossTscs) {
+  // The non-public key bytes should not repeat across nearby TSCs: collect
+  // byte-4..15 tails for 4096 consecutive TSCs and require all distinct.
+  Xoshiro256 rng(8);
+  const auto tk = RandomTk(rng);
+  const auto ta = RandomTa(rng);
+  std::set<std::string> tails;
+  for (uint64_t tsc = 0; tsc < 4096; ++tsc) {
+    const auto key = TkipMixKey(tk, ta, tsc);
+    tails.insert(ToHex(std::span<const uint8_t>(key.data() + 4, 12)));
+  }
+  EXPECT_EQ(tails.size(), 4096u);
+}
+
+TEST(KeyMixingTest, KeyTailByteDistributionRoughlyUniform) {
+  Xoshiro256 rng(9);
+  const auto tk = RandomTk(rng);
+  const auto ta = RandomTa(rng);
+  std::array<int, 256> counts{};
+  const int keys = 8192;
+  for (int tsc = 0; tsc < keys; ++tsc) {
+    const auto key = TkipMixKey(tk, ta, static_cast<uint64_t>(tsc));
+    for (int b = 4; b < 16; ++b) {
+      ++counts[key[b]];
+    }
+  }
+  const double expected = keys * 12.0 / 256.0;
+  for (int v = 0; v < 256; ++v) {
+    EXPECT_NEAR(counts[v], expected, 7 * std::sqrt(expected)) << "value " << v;
+  }
+}
+
+}  // namespace
+}  // namespace rc4b

@@ -1,0 +1,91 @@
+#include "src/tls/http.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace rc4b {
+namespace {
+
+Bytes TestCookie() { return FromString("ABCDEFGHIJKLMNOP"); }
+
+TEST(HttpTest, AlignmentPaddingComputation) {
+  EXPECT_EQ(AlignmentPadding(10, 10), 0u);
+  EXPECT_EQ(AlignmentPadding(10, 12), 2u);
+  EXPECT_EQ(AlignmentPadding(260, 4), 0u);
+  EXPECT_EQ(AlignmentPadding(5, 3), 254u);
+}
+
+TEST(HttpTest, RequestHasExactTotalSize) {
+  HttpRequestTemplate tmpl;
+  tmpl.total_size = 492;
+  for (size_t align : {0u, 17u, 128u, 255u}) {
+    tmpl.cookie_alignment = align;
+    const auto shaped = BuildAlignedRequest(tmpl, TestCookie());
+    EXPECT_EQ(shaped.plaintext.size(), 492u) << "align " << align;
+  }
+}
+
+TEST(HttpTest, CookieAtAlignedOffset) {
+  HttpRequestTemplate tmpl;
+  tmpl.total_size = 492;
+  for (size_t align = 0; align < 256; align += 13) {
+    tmpl.cookie_alignment = align;
+    const auto shaped = BuildAlignedRequest(tmpl, TestCookie());
+    EXPECT_EQ(shaped.cookie_offset % 256, align) << "align " << align;
+    // The cookie bytes are verbatim at the reported offset.
+    const Bytes at_offset(shaped.plaintext.begin() + shaped.cookie_offset,
+                          shaped.plaintext.begin() + shaped.cookie_offset + 16);
+    EXPECT_EQ(at_offset, TestCookie());
+  }
+}
+
+TEST(HttpTest, CookiePrecededByNameEquals) {
+  HttpRequestTemplate tmpl;
+  tmpl.cookie_alignment = 200;
+  const auto shaped = BuildAlignedRequest(tmpl, TestCookie());
+  const std::string text(shaped.plaintext.begin(), shaped.plaintext.end());
+  const size_t name_pos = text.find("auth=");
+  ASSERT_NE(name_pos, std::string::npos);
+  EXPECT_EQ(name_pos + 5, shaped.cookie_offset);
+}
+
+TEST(HttpTest, KnownPlaintextSurroundsCookie) {
+  // The bytes before and after the cookie must be attacker-predictable: they
+  // come from fixed headers and injected cookie values.
+  HttpRequestTemplate tmpl;
+  tmpl.cookie_alignment = 150;
+  const auto a = BuildAlignedRequest(tmpl, TestCookie());
+  const auto b = BuildAlignedRequest(tmpl, FromString("0123456789abcdef"));
+  ASSERT_EQ(a.cookie_offset, b.cookie_offset);
+  // All non-cookie bytes identical across different cookie values.
+  for (size_t i = 0; i < a.plaintext.size(); ++i) {
+    if (i >= a.cookie_offset && i < a.cookie_offset + 16) {
+      continue;
+    }
+    ASSERT_EQ(a.plaintext[i], b.plaintext[i]) << "offset " << i;
+  }
+}
+
+TEST(HttpTest, RequestIsWellFormedHttp) {
+  HttpRequestTemplate tmpl;
+  tmpl.cookie_alignment = 100;
+  const auto shaped = BuildAlignedRequest(tmpl, TestCookie());
+  const std::string text(shaped.plaintext.begin(), shaped.plaintext.end());
+  EXPECT_EQ(text.substr(0, 14), "GET / HTTP/1.1");
+  EXPECT_NE(text.find("Host: site.com\r\n"), std::string::npos);
+  EXPECT_NE(text.find("Cookie: "), std::string::npos);
+  EXPECT_EQ(text.substr(text.size() - 4), "\r\n\r\n");
+}
+
+TEST(HttpTest, TrailingInjectedCookieFollowsTarget) {
+  HttpRequestTemplate tmpl;
+  tmpl.cookie_alignment = 60;
+  const auto shaped = BuildAlignedRequest(tmpl, TestCookie());
+  const std::string text(shaped.plaintext.begin(), shaped.plaintext.end());
+  const size_t after = shaped.cookie_offset + 16;
+  EXPECT_EQ(text.substr(after, 12), "; injected1=");
+}
+
+}  // namespace
+}  // namespace rc4b

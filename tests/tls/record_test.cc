@@ -1,0 +1,111 @@
+#include "src/tls/record.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace rc4b {
+namespace {
+
+struct KeyPair {
+  Bytes mac_key;
+  Bytes rc4_key;
+};
+
+KeyPair TestKeys(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  KeyPair keys;
+  keys.mac_key.resize(HmacSha1::kDigestSize);
+  keys.rc4_key.resize(16);
+  rng.Fill(keys.mac_key);
+  rng.Fill(keys.rc4_key);
+  return keys;
+}
+
+TEST(TlsRecordTest, SealOpenRoundTrip) {
+  const KeyPair keys = TestKeys(1);
+  TlsWriteState writer(keys.mac_key, keys.rc4_key);
+  TlsReadState reader(keys.mac_key, keys.rc4_key);
+  const Bytes payload = FromString("GET / HTTP/1.1\r\n\r\n");
+  const Bytes record = writer.Seal(payload);
+  const auto opened = reader.Open(record);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, payload);
+}
+
+TEST(TlsRecordTest, HeaderLayout) {
+  const KeyPair keys = TestKeys(2);
+  TlsWriteState writer(keys.mac_key, keys.rc4_key);
+  const Bytes payload(100, 'x');
+  const Bytes record = writer.Seal(payload);
+  EXPECT_EQ(record[0], kTlsApplicationData);
+  EXPECT_EQ(LoadBe16(record.data() + 1), kTlsVersion12);
+  EXPECT_EQ(LoadBe16(record.data() + 3), 100 + HmacSha1::kDigestSize);
+  EXPECT_EQ(record.size(), kTlsRecordHeaderSize + 100 + HmacSha1::kDigestSize);
+}
+
+TEST(TlsRecordTest, MultipleRecordsShareOneRc4Stream) {
+  // MAC-then-encrypt with a single stream: decrypting record 2 requires
+  // having consumed record 1's keystream. Out-of-order open must fail.
+  const KeyPair keys = TestKeys(3);
+  TlsWriteState writer(keys.mac_key, keys.rc4_key);
+  const Bytes r1 = writer.Seal(FromString("first"));
+  const Bytes r2 = writer.Seal(FromString("second"));
+
+  TlsReadState in_order(keys.mac_key, keys.rc4_key);
+  ASSERT_TRUE(in_order.Open(r1).has_value());
+  ASSERT_TRUE(in_order.Open(r2).has_value());
+
+  TlsReadState out_of_order(keys.mac_key, keys.rc4_key);
+  EXPECT_FALSE(out_of_order.Open(r2).has_value());
+}
+
+TEST(TlsRecordTest, SequenceNumberPreventsReplay) {
+  const KeyPair keys = TestKeys(4);
+  TlsWriteState writer(keys.mac_key, keys.rc4_key);
+  TlsReadState reader(keys.mac_key, keys.rc4_key);
+  const Bytes record = writer.Seal(FromString("once"));
+  ASSERT_TRUE(reader.Open(record).has_value());
+  EXPECT_FALSE(reader.Open(record).has_value());  // replayed record fails MAC
+}
+
+TEST(TlsRecordTest, TamperedCiphertextRejected) {
+  const KeyPair keys = TestKeys(5);
+  TlsWriteState writer(keys.mac_key, keys.rc4_key);
+  TlsReadState reader(keys.mac_key, keys.rc4_key);
+  Bytes record = writer.Seal(FromString("integrity"));
+  record[kTlsRecordHeaderSize + 2] ^= 0x01;
+  EXPECT_FALSE(reader.Open(record).has_value());
+}
+
+TEST(TlsRecordTest, TruncatedRecordRejected) {
+  const KeyPair keys = TestKeys(6);
+  TlsReadState reader(keys.mac_key, keys.rc4_key);
+  EXPECT_FALSE(reader.Open(Bytes(3, 0)).has_value());
+  EXPECT_FALSE(reader.Open(Bytes(kTlsRecordHeaderSize + 5, 0)).has_value());
+}
+
+TEST(TlsRecordTest, NoKeystreamBytesDiscarded) {
+  // The paper stresses that TLS does not drop initial RC4 bytes: the first
+  // ciphertext byte must equal plaintext XOR Z1.
+  const KeyPair keys = TestKeys(7);
+  TlsWriteState writer(keys.mac_key, keys.rc4_key);
+  const Bytes payload = FromString("A");
+  const Bytes record = writer.Seal(payload);
+
+  Rc4 rc4(keys.rc4_key);
+  const uint8_t z1 = rc4.Next();
+  EXPECT_EQ(record[kTlsRecordHeaderSize], payload[0] ^ z1);
+}
+
+TEST(TlsRecordTest, SequenceNumberAdvances) {
+  const KeyPair keys = TestKeys(8);
+  TlsWriteState writer(keys.mac_key, keys.rc4_key);
+  EXPECT_EQ(writer.sequence_number(), 0u);
+  writer.Seal(FromString("a"));
+  writer.Seal(FromString("b"));
+  EXPECT_EQ(writer.sequence_number(), 2u);
+}
+
+}  // namespace
+}  // namespace rc4b

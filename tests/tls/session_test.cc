@@ -1,0 +1,71 @@
+#include "src/tls/session.h"
+
+#include <gtest/gtest.h>
+
+namespace rc4b {
+namespace {
+
+HttpRequestTemplate TestTemplate() {
+  HttpRequestTemplate tmpl;
+  tmpl.total_size = 492;  // 492 + 20-byte MAC = 512-byte stride
+  return tmpl;
+}
+
+TEST(SessionTest, StrideIsMultipleOf256) {
+  Xoshiro256 rng(1);
+  TlsVictimSession session(TestTemplate(), FromString("ABCDEFGHIJKLMNOP"), 48, rng);
+  EXPECT_EQ(session.StreamStride() % 256, 0u);
+  EXPECT_EQ(session.StreamStride(), 512u);
+}
+
+TEST(SessionTest, CookiePositionFixedMod256) {
+  Xoshiro256 rng(2);
+  TlsVictimSession session(TestTemplate(), FromString("ABCDEFGHIJKLMNOP"), 48, rng);
+  for (uint64_t k = 0; k < 100; k += 7) {
+    EXPECT_EQ(session.CookieStreamPosition(k) % 256, 48u) << "request " << k;
+  }
+}
+
+TEST(SessionTest, ServerAcceptsRequests) {
+  Xoshiro256 rng(3);
+  const Bytes cookie = FromString("SECRETSECRET1234");
+  TlsVictimSession session(TestTemplate(), cookie, 100, rng);
+  TlsReadState server = session.MakeServerReader();
+  for (int i = 0; i < 5; ++i) {
+    const Bytes record = session.NextRequest();
+    const auto payload = server.Open(record);
+    ASSERT_TRUE(payload.has_value()) << "request " << i;
+    // The cookie is embedded at the session's fixed in-request offset.
+    const Bytes embedded(payload->begin() + session.CookieOffsetInRequest(),
+                         payload->begin() + session.CookieOffsetInRequest() + 16);
+    EXPECT_EQ(embedded, cookie);
+  }
+}
+
+TEST(SessionTest, EncryptedRequestsHaveFixedSize) {
+  Xoshiro256 rng(4);
+  TlsVictimSession session(TestTemplate(), FromString("ABCDEFGHIJKLMNOP"), 0, rng);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(session.NextRequest().size(), kTlsRecordHeaderSize + 512);
+  }
+}
+
+TEST(SessionTest, KnownPlaintextStableAcrossRequests) {
+  Xoshiro256 rng(5);
+  TlsVictimSession session(TestTemplate(), FromString("ABCDEFGHIJKLMNOP"), 32, rng);
+  const Bytes& plaintext = session.RequestPlaintext();
+  EXPECT_EQ(plaintext.size(), 492u);
+  session.NextRequest();
+  session.NextRequest();
+  EXPECT_EQ(session.RequestPlaintext(), plaintext);
+}
+
+TEST(SessionTest, DifferentSessionsHaveDifferentKeys) {
+  Xoshiro256 rng(6);
+  TlsVictimSession a(TestTemplate(), FromString("ABCDEFGHIJKLMNOP"), 0, rng);
+  TlsVictimSession b(TestTemplate(), FromString("ABCDEFGHIJKLMNOP"), 0, rng);
+  EXPECT_NE(a.NextRequest(), b.NextRequest());
+}
+
+}  // namespace
+}  // namespace rc4b
