@@ -1,0 +1,91 @@
+// Sharded keystream-engine throughput: keystreams/sec single-thread vs.
+// multi-shard, for the single-byte and consecutive-digraph accumulators,
+// plus a bit-exactness check that the sharded merge equals the
+// single-threaded reference for the same seed (the engine's core guarantee).
+//
+// This is the repo's perf-trajectory bench for the dataset hot path every
+// attack scenario (Fig. 4-10, Tables 1-2) sits on; the nightly CI job
+// uploads its output as an artifact.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/common/flags.h"
+#include "src/common/thread_pool.h"
+#include "src/engine/accumulators.h"
+#include "src/engine/keystream_engine.h"
+
+namespace rc4b {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+template <typename Accumulator>
+double TimedRun(const EngineOptions& options, Accumulator& accumulator) {
+  const auto start = std::chrono::steady_clock::now();
+  RunKeystreamEngine(options, accumulator);
+  return SecondsSince(start);
+}
+
+template <typename MakeAccumulator>
+void RunMode(const char* mode, uint64_t keys, uint64_t seed, unsigned threads,
+             MakeAccumulator make_accumulator) {
+  EngineOptions options;
+  options.keys = keys;
+  options.seed = seed;
+
+  options.workers = 1;
+  auto reference = make_accumulator();
+  const double single_s = TimedRun(options, reference);
+
+  options.workers = threads;
+  auto sharded = make_accumulator();
+  const double multi_s = TimedRun(options, sharded);
+
+  const double n = static_cast<double>(keys);
+  const bool exact = reference.grid() == sharded.grid();
+  std::printf("%-12s %10.0f ks/s (1 thread)  %10.0f ks/s (%u threads)  "
+              "speedup %.2fx  merge bit-exact: %s\n",
+              mode, n / single_s, n / multi_s, threads, single_s / multi_s,
+              exact ? "OK" : "FAILED");
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags("Sharded keystream-statistics engine throughput");
+  flags.Define("keys", "0x80000", "RC4 keys per run (2^19)")
+      .Define("positions", "256", "keystream positions per key")
+      .Define("threads", "0", "shard count for the parallel run (0 = all cores)")
+      .Define("seed", "42", "engine seed");
+  if (!flags.Parse(argc, argv)) {
+    return 0;
+  }
+  const uint64_t keys = flags.GetUint("keys");
+  const size_t positions = static_cast<size_t>(flags.GetUint("positions"));
+  const uint64_t seed = flags.GetUint("seed");
+  unsigned threads = static_cast<unsigned>(flags.GetUint("threads"));
+  if (threads == 0) {
+    threads = DefaultWorkerCount();
+  }
+
+  bench::PrintHeader(
+      "bench_engine_sharded",
+      "Sect. 3.2 dataset generation (engine substrate for Fig. 4-10, Tab. 1-2)",
+      "keystreams/sec, single shard vs. all cores, with merge bit-exactness");
+  std::printf("keys=%llu positions=%zu threads=%u (hardware: %u)\n\n",
+              static_cast<unsigned long long>(keys), positions, threads,
+              DefaultWorkerCount());
+
+  RunMode("single-byte", keys, seed, threads,
+          [&] { return SingleByteAccumulator(positions); });
+  RunMode("digraph", keys, seed, threads,
+          [&] { return ConsecutiveAccumulator(positions); });
+  return 0;
+}
+
+}  // namespace
+}  // namespace rc4b
+
+int main(int argc, char** argv) { return rc4b::Run(argc, argv); }

@@ -7,6 +7,8 @@
 #include "src/common/rng.h"
 #include "src/core/candidates.h"
 #include "src/core/likelihood.h"
+#include "src/engine/accumulators.h"
+#include "src/engine/keystream_engine.h"
 #include "src/crypto/aes128.h"
 #include "src/crypto/crc32.h"
 #include "src/crypto/hmac.h"
@@ -167,6 +169,37 @@ void BM_SparseDoubleByteLikelihood(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SparseDoubleByteLikelihood);
+
+// Sharded keystream-statistics engine: the dataset hot path under every
+// attack scenario. Arg is the shard count (0 = all cores); items/sec is
+// keystreams/sec. bench_engine_sharded reports the full sweep.
+void BM_EngineSingleByteStats(benchmark::State& state) {
+  EngineOptions options;
+  options.keys = 1 << 14;
+  options.workers = static_cast<unsigned>(state.range(0));
+  options.seed = 19;
+  for (auto _ : state) {
+    SingleByteAccumulator accumulator(256);
+    RunKeystreamEngine(options, accumulator);
+    benchmark::DoNotOptimize(accumulator.grid().keys());
+  }
+  state.SetItemsProcessed(state.iterations() * options.keys);
+}
+BENCHMARK(BM_EngineSingleByteStats)->Arg(1)->Arg(0);
+
+void BM_EngineDigraphStats(benchmark::State& state) {
+  EngineOptions options;
+  options.keys = 1 << 14;
+  options.workers = static_cast<unsigned>(state.range(0));
+  options.seed = 20;
+  for (auto _ : state) {
+    ConsecutiveAccumulator accumulator(256);
+    RunKeystreamEngine(options, accumulator);
+    benchmark::DoNotOptimize(accumulator.grid().keys());
+  }
+  state.SetItemsProcessed(state.iterations() * options.keys);
+}
+BENCHMARK(BM_EngineDigraphStats)->Arg(1)->Arg(0);
 
 // Candidate generation throughput (paper: 20000 cookies tested per second,
 // dominated by candidate generation + HTTP pipelining).

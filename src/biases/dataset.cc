@@ -1,208 +1,73 @@
 #include "src/biases/dataset.h"
 
 #include <cassert>
-#include <mutex>
 
-#include "src/common/thread_pool.h"
-#include "src/rc4/keygen.h"
-#include "src/rc4/rc4.h"
+#include "src/engine/accumulators.h"
+#include "src/engine/keystream_engine.h"
 
 namespace rc4b {
 
+// All generators are thin drivers over the sharded keystream engine
+// (src/engine/): they pick an accumulator, forward the scale knobs, and
+// return the merged grid. The engine guarantees the result is bit-identical
+// for any worker count (keys are indexed globally in one AES-CTR stream).
+
 namespace {
 
-// Flush interval for 16-bit worker tiles. The largest single-byte probability
-// in the RC4 keystream is ~2 * 2^-8 (Z2 = 0), so per-cell counts stay below
-// ~2^13 per flush — a wide margin under the 2^16 - 1 cap.
-constexpr uint64_t kKeysPerFlush = 1 << 20;
+EngineOptions ToEngineOptions(const DatasetOptions& options) {
+  EngineOptions engine;
+  engine.keys = options.keys;
+  engine.workers = options.workers;
+  engine.seed = options.seed;
+  return engine;
+}
+
+LongTermEngineOptions ToLongTermOptions(const LongTermOptions& options) {
+  LongTermEngineOptions engine;
+  engine.keys = options.keys;
+  engine.bytes_per_key = options.bytes_per_key;
+  engine.drop = options.drop;
+  engine.workers = options.workers;
+  engine.seed = options.seed;
+  // 64 KiB windows; the engine consumes every whole 256-byte block of
+  // bytes_per_key regardless of the window size.
+  return engine;
+}
 
 }  // namespace
 
 SingleByteGrid GenerateSingleByteDataset(size_t positions, const DatasetOptions& options) {
-  SingleByteGrid grid(positions);
-  std::mutex merge_mutex;
-  ParallelChunks(options.keys, options.workers, [&](unsigned w, uint64_t begin, uint64_t end) {
-    Rc4KeyGenerator keygen(options.seed + w);
-    SingleByteGrid local(positions);
-    WorkerTile tile(positions * 256);
-    std::vector<uint8_t> keystream(positions);
-    uint64_t since_flush = 0;
-    for (uint64_t k = begin; k < end; ++k) {
-      Rc4 rc4(keygen.NextKey());
-      rc4.Keystream(keystream);
-      for (size_t pos = 0; pos < positions; ++pos) {
-        tile.Add(pos * 256 + keystream[pos]);
-      }
-      if (++since_flush == kKeysPerFlush) {
-        tile.FlushInto(local.MutableCells());
-        since_flush = 0;
-      }
-    }
-    tile.FlushInto(local.MutableCells());
-    local.AddKeys(end - begin);
-    std::lock_guard<std::mutex> lock(merge_mutex);
-    grid.Merge(local);
-  });
-  return grid;
+  SingleByteAccumulator accumulator(positions);
+  RunKeystreamEngine(ToEngineOptions(options), accumulator);
+  return accumulator.TakeGrid();
 }
 
-namespace {
-
-// Flush cadence for digraph worker tiles: the largest pair-cell probability
-// in any of our datasets is ~3 * 2^-16 (Isobe's Z1 = Z2 = 0), so per-cell
-// counts stay around 3 * 2^4 per flush — far below the 16-bit cap. Keeping
-// worker state in 16-bit tiles (38 MB for 289 positions) instead of 64-bit
-// grids (150 MB) is what lets ~24 workers coexist, mirroring the paper's
-// counter-size optimization.
-constexpr uint64_t kDigraphKeysPerFlush = 1 << 20;
-
-}  // namespace
-
 DigraphGrid GenerateConsecutiveDataset(size_t positions, const DatasetOptions& options) {
-  DigraphGrid grid(positions);
-  std::mutex merge_mutex;
-  ParallelChunks(options.keys, options.workers, [&](unsigned w, uint64_t begin, uint64_t end) {
-    Rc4KeyGenerator keygen(options.seed + w);
-    WorkerTile tile(positions * 65536);
-    std::vector<uint8_t> keystream(positions + 1);
-    uint64_t since_flush = 0;
-    const auto flush = [&] {
-      std::lock_guard<std::mutex> lock(merge_mutex);
-      tile.FlushInto(grid.MutableCells());
-    };
-    for (uint64_t k = begin; k < end; ++k) {
-      Rc4 rc4(keygen.NextKey());
-      rc4.Keystream(keystream);
-      for (size_t pos = 0; pos < positions; ++pos) {
-        tile.Add(pos * 65536 + static_cast<size_t>(keystream[pos]) * 256 +
-                 keystream[pos + 1]);
-      }
-      if (++since_flush == kDigraphKeysPerFlush) {
-        flush();
-        since_flush = 0;
-      }
-    }
-    flush();
-    std::lock_guard<std::mutex> lock(merge_mutex);
-    grid.AddKeys(end - begin);
-  });
-  return grid;
+  ConsecutiveAccumulator accumulator(positions);
+  RunKeystreamEngine(ToEngineOptions(options), accumulator);
+  return accumulator.TakeGrid();
 }
 
 DigraphGrid GeneratePairDataset(const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
                                 const DatasetOptions& options) {
-  size_t max_position = 0;
-  for (const auto& [a, b] : pairs) {
-    assert(a >= 1 && a < b);
-    max_position = std::max<size_t>(max_position, b);
-  }
-  DigraphGrid grid(pairs.size());
-  std::mutex merge_mutex;
-  ParallelChunks(options.keys, options.workers, [&](unsigned w, uint64_t begin, uint64_t end) {
-    Rc4KeyGenerator keygen(options.seed + w);
-    WorkerTile tile(pairs.size() * 65536);
-    std::vector<uint8_t> keystream(max_position);
-    uint64_t since_flush = 0;
-    const auto flush = [&] {
-      std::lock_guard<std::mutex> lock(merge_mutex);
-      tile.FlushInto(grid.MutableCells());
-    };
-    for (uint64_t k = begin; k < end; ++k) {
-      Rc4 rc4(keygen.NextKey());
-      rc4.Keystream(keystream);
-      for (size_t p = 0; p < pairs.size(); ++p) {
-        tile.Add(p * 65536 + static_cast<size_t>(keystream[pairs[p].first - 1]) * 256 +
-                 keystream[pairs[p].second - 1]);
-      }
-      if (++since_flush == kDigraphKeysPerFlush) {
-        flush();
-        since_flush = 0;
-      }
-    }
-    flush();
-    std::lock_guard<std::mutex> lock(merge_mutex);
-    grid.AddKeys(end - begin);
-  });
-  return grid;
+  PairAccumulator accumulator(pairs);
+  RunKeystreamEngine(ToEngineOptions(options), accumulator);
+  return accumulator.TakeGrid();
 }
 
 DigraphGrid GenerateLongTermDigraphDataset(const LongTermOptions& options) {
   assert(options.drop % 256 == 0);
-  DigraphGrid grid(256);
-  std::mutex merge_mutex;
-  ParallelChunks(options.keys, options.workers, [&](unsigned w, uint64_t begin, uint64_t end) {
-    Rc4KeyGenerator keygen(options.seed + w);
-    keygen.Seek(begin);
-    // 32-bit worker-local grid (67 MB instead of 134 MB): per-row cell counts
-    // stay below 2^32 for any single worker's share of the samples.
-    std::vector<uint32_t> local(256 * 65536, 0);
-    // Stream in 256-byte blocks plus one lookahead byte so each digraph's
-    // counter class is block-position invariant.
-    std::vector<uint8_t> block(257);
-    for (uint64_t k = begin; k < end; ++k) {
-      Rc4 rc4(keygen.NextKey());
-      rc4.Skip(options.drop);
-      uint64_t remaining = options.bytes_per_key;
-      rc4.Keystream(std::span<uint8_t>(block.data(), 1));  // prime the lookahead
-      while (remaining >= 256) {
-        // block[0] is the byte at a position == 1 (mod 256) boundary's
-        // predecessor; generate the next 256 bytes.
-        rc4.Keystream(std::span<uint8_t>(block.data() + 1, 256));
-        for (size_t off = 0; off < 256; ++off) {
-          local[off * 65536 + static_cast<size_t>(block[off]) * 256 +
-                block[off + 1]] += 1;
-        }
-        block[0] = block[256];
-        remaining -= 256;
-      }
-    }
-    std::lock_guard<std::mutex> lock(merge_mutex);
-    grid.MergeCounts32(local, (end - begin) * (options.bytes_per_key / 256));
-  });
-  return grid;
+  LongTermDigraphAccumulator accumulator;
+  RunLongTermEngine(ToLongTermOptions(options), accumulator);
+  return accumulator.TakeGrid();
 }
 
 AbsabCounts GenerateAbsabDataset(uint64_t max_gap, const LongTermOptions& options) {
+  AbsabAccumulator accumulator(max_gap);
+  RunLongTermEngine(ToLongTermOptions(options), accumulator);
   AbsabCounts totals;
-  totals.matches.assign(max_gap + 1, 0);
-  totals.samples.assign(max_gap + 1, 0);
-  std::mutex merge_mutex;
-  ParallelChunks(options.keys, options.workers, [&](unsigned w, uint64_t begin, uint64_t end) {
-    Rc4KeyGenerator keygen(options.seed + w);
-    keygen.Seek(begin);
-    AbsabCounts local;
-    local.matches.assign(max_gap + 1, 0);
-    local.samples.assign(max_gap + 1, 0);
-    const size_t window = static_cast<size_t>(max_gap) + 4;
-    const size_t chunk = 1 << 16;
-    std::vector<uint8_t> buffer(chunk + window);
-    for (uint64_t k = begin; k < end; ++k) {
-      Rc4 rc4(keygen.NextKey());
-      rc4.Skip(options.drop);
-      uint64_t remaining = options.bytes_per_key;
-      rc4.Keystream(std::span<uint8_t>(buffer.data(), window));
-      while (remaining >= chunk) {
-        rc4.Keystream(std::span<uint8_t>(buffer.data() + window, chunk));
-        for (size_t r = 0; r < chunk; ++r) {
-          const uint8_t a = buffer[r];
-          const uint8_t b = buffer[r + 1];
-          for (uint64_t g = 0; g <= max_gap; ++g) {
-            local.matches[g] += (a == buffer[r + g + 2] && b == buffer[r + g + 3]) ? 1 : 0;
-          }
-        }
-        std::memcpy(buffer.data(), buffer.data() + chunk, window);
-        remaining -= chunk;
-        for (uint64_t g = 0; g <= max_gap; ++g) {
-          local.samples[g] += chunk;
-        }
-      }
-    }
-    std::lock_guard<std::mutex> lock(merge_mutex);
-    for (uint64_t g = 0; g <= max_gap; ++g) {
-      totals.matches[g] += local.matches[g];
-      totals.samples[g] += local.samples[g];
-    }
-  });
+  totals.matches = accumulator.matches();
+  totals.samples = accumulator.samples();
   return totals;
 }
 
@@ -210,34 +75,9 @@ std::vector<uint64_t> GenerateAlignedPairDataset(uint32_t offset_a, uint32_t off
                                                  const LongTermOptions& options) {
   assert(offset_a < offset_b && offset_b < 256);
   assert(options.drop % 256 == 0 && options.drop > 0);
-  std::vector<uint64_t> counts(65536, 0);
-  std::mutex merge_mutex;
-  ParallelChunks(options.keys, options.workers, [&](unsigned w, uint64_t begin, uint64_t end) {
-    Rc4KeyGenerator keygen(options.seed + w);
-    keygen.Seek(begin);
-    std::vector<uint64_t> local(65536, 0);
-    std::vector<uint8_t> block(256);
-    for (uint64_t k = begin; k < end; ++k) {
-      Rc4 rc4(keygen.NextKey());
-      rc4.Skip(options.drop);
-      // After dropping a multiple of 256 bytes, the next generated byte is
-      // Z_{drop+1}, i.e. offset 0 within a 256-aligned block is position
-      // 256w + 1 in 1-based numbering. The paper's Z_{256w} is the *last*
-      // byte of the previous block: offsets here are relative to Z_{256w},
-      // so shift by -1 and read offset 255 of the previous block. To keep it
-      // simple we realign: skip 255 more bytes so block[0] == Z_{256(w+1)}.
-      rc4.Skip(255);
-      for (uint64_t blocks = options.bytes_per_key / 256; blocks > 0; --blocks) {
-        rc4.Keystream(block);
-        local[static_cast<size_t>(block[offset_a]) * 256 + block[offset_b]] += 1;
-      }
-    }
-    std::lock_guard<std::mutex> lock(merge_mutex);
-    for (size_t i = 0; i < counts.size(); ++i) {
-      counts[i] += local[i];
-    }
-  });
-  return counts;
+  AlignedPairAccumulator accumulator(offset_a, offset_b);
+  RunLongTermEngine(ToLongTermOptions(options), accumulator);
+  return accumulator.TakeCounts();
 }
 
 }  // namespace rc4b

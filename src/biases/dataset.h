@@ -19,9 +19,12 @@
 namespace rc4b {
 
 struct DatasetOptions {
-  uint64_t keys = 1 << 20;   // RC4 keys to sample
-  unsigned workers = 0;      // 0 = hardware concurrency
-  uint64_t seed = 1;         // base worker seed
+  uint64_t keys = 1 << 20;  // RC4 keys to sample
+  unsigned workers = 0;     // 0 = hardware concurrency
+  // Seed of the single AES-CTR key stream all workers share; key k is key
+  // number k of that stream, so counts are bit-identical for any `workers`
+  // (see src/engine/keystream_engine.h).
+  uint64_t seed = 1;
 };
 
 // Single-byte statistics: counts of Z_r for 1 <= r <= positions.
@@ -46,7 +49,7 @@ struct LongTermOptions {
   uint64_t bytes_per_key = 1 << 24;
   uint64_t drop = 1024;  // paper drops the initial 1023 bytes; we drop 1024
   unsigned workers = 0;
-  uint64_t seed = 1;
+  uint64_t seed = 1;  // shared AES-CTR stream seed (worker-count invariant)
 };
 DigraphGrid GenerateLongTermDigraphDataset(const LongTermOptions& options);
 

@@ -1,0 +1,252 @@
+#include "src/engine/accumulators.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rc4b {
+
+namespace {
+
+// Flush cadence for 16-bit worker tiles, counted in keys. The largest
+// per-cell probability across our short-term datasets is ~2 * 2^-8 (the
+// Mantin–Shamir Z2 = 0 bias), so per-cell counts stay below ~2^12 per flush —
+// a wide margin under the 2^16 - 1 cap even with batch-sized overshoot.
+constexpr uint64_t kKeysPerFlush = 1 << 19;
+
+// Shard sink shared by all short-term accumulators: a 16-bit tile spilling
+// into a cache-aligned 32-bit shard block; the block merges into the final
+// 64-bit grid exactly once, when the engine retires the shard. Keeping the
+// spill block at 32 bits halves per-shard memory (the paper's counter-size
+// optimization is what lets ~24 digraph workers coexist) and is safe for any
+// shard processing < 2^32 * min-cell-probability^-1 keys — far beyond 2^39
+// keys per shard at our largest (~2^-7.3) cell probability.
+class TileShardSink : public ShardSink {
+ public:
+  explicit TileShardSink(size_t cells) : tile_(cells), cells_(cells, 0) {}
+
+  std::span<const uint32_t> cells() {
+    tile_.FlushInto(cells_);
+    return cells_;
+  }
+
+ protected:
+  void CountKeysAndMaybeFlush(size_t rows) {
+    keys_since_flush_ += rows;
+    if (keys_since_flush_ >= kKeysPerFlush) {
+      tile_.FlushInto(cells_);
+      keys_since_flush_ = 0;
+    }
+  }
+
+  WorkerTile tile_;
+
+ private:
+  AlignedVector<uint32_t> cells_;
+  uint64_t keys_since_flush_ = 0;
+};
+
+class SingleByteShardSink : public TileShardSink {
+ public:
+  explicit SingleByteShardSink(size_t positions)
+      : TileShardSink(positions * 256), positions_(positions) {}
+
+  void Consume(const KeystreamBatch& batch) override {
+    for (size_t r = 0; r < batch.rows; ++r) {
+      const uint8_t* keystream = batch.Row(r).data();
+      for (size_t pos = 0; pos < positions_; ++pos) {
+        tile_.Add(pos * 256 + keystream[pos]);
+      }
+    }
+    CountKeysAndMaybeFlush(batch.rows);
+  }
+
+ private:
+  size_t positions_;
+};
+
+class ConsecutiveShardSink : public TileShardSink {
+ public:
+  explicit ConsecutiveShardSink(size_t positions)
+      : TileShardSink(positions * 65536), positions_(positions) {}
+
+  void Consume(const KeystreamBatch& batch) override {
+    for (size_t r = 0; r < batch.rows; ++r) {
+      const uint8_t* keystream = batch.Row(r).data();
+      for (size_t pos = 0; pos < positions_; ++pos) {
+        tile_.Add(pos * 65536 + static_cast<size_t>(keystream[pos]) * 256 +
+                  keystream[pos + 1]);
+      }
+    }
+    CountKeysAndMaybeFlush(batch.rows);
+  }
+
+ private:
+  size_t positions_;
+};
+
+class PairShardSink : public TileShardSink {
+ public:
+  explicit PairShardSink(const std::vector<std::pair<uint32_t, uint32_t>>& pairs)
+      : TileShardSink(pairs.size() * 65536), pairs_(pairs) {}
+
+  void Consume(const KeystreamBatch& batch) override {
+    for (size_t r = 0; r < batch.rows; ++r) {
+      const uint8_t* keystream = batch.Row(r).data();
+      for (size_t p = 0; p < pairs_.size(); ++p) {
+        tile_.Add(p * 65536 +
+                  static_cast<size_t>(keystream[pairs_[p].first - 1]) * 256 +
+                  keystream[pairs_[p].second - 1]);
+      }
+    }
+    CountKeysAndMaybeFlush(batch.rows);
+  }
+
+ private:
+  const std::vector<std::pair<uint32_t, uint32_t>>& pairs_;
+};
+
+}  // namespace
+
+std::unique_ptr<ShardSink> SingleByteAccumulator::MakeShard() {
+  return std::make_unique<SingleByteShardSink>(positions_);
+}
+
+void SingleByteAccumulator::MergeShard(ShardSink& shard, uint64_t keys) {
+  grid_.MergeCounts32(static_cast<SingleByteShardSink&>(shard).cells(), keys);
+}
+
+std::unique_ptr<ShardSink> ConsecutiveAccumulator::MakeShard() {
+  return std::make_unique<ConsecutiveShardSink>(positions_);
+}
+
+void ConsecutiveAccumulator::MergeShard(ShardSink& shard, uint64_t keys) {
+  grid_.MergeCounts32(static_cast<ConsecutiveShardSink&>(shard).cells(), keys);
+}
+
+PairAccumulator::PairAccumulator(std::vector<std::pair<uint32_t, uint32_t>> pairs)
+    : pairs_(std::move(pairs)), max_position_(0), grid_(pairs_.size()) {
+  for (const auto& [a, b] : pairs_) {
+    assert(a >= 1 && a < b);
+    max_position_ = std::max<size_t>(max_position_, b);
+  }
+}
+
+std::unique_ptr<ShardSink> PairAccumulator::MakeShard() {
+  return std::make_unique<PairShardSink>(pairs_);
+}
+
+void PairAccumulator::MergeShard(ShardSink& shard, uint64_t keys) {
+  grid_.MergeCounts32(static_cast<PairShardSink&>(shard).cells(), keys);
+}
+
+// ------------------------------------------------------------------------
+// Long-term sinks.
+
+namespace {
+
+class LongTermDigraphShardSink : public StreamShardSink {
+ public:
+  LongTermDigraphShardSink() : cells_(256 * 65536, 0) {}
+
+  void ConsumeChunk(std::span<const uint8_t> chunk, size_t owned) override {
+    // chunk_bytes is a 256-multiple and owned positions restart at 0 each
+    // key, so owned position `off` always sits at counter class off % 256.
+    for (size_t base = 0; base < owned; base += 256) {
+      const uint8_t* block = chunk.data() + base;
+      for (size_t off = 0; off < 256; ++off) {
+        cells_[off * 65536 + static_cast<size_t>(block[off]) * 256 +
+               block[off + 1]] += 1;
+      }
+    }
+  }
+
+  std::span<const uint32_t> cells() const { return cells_; }
+
+ private:
+  // 32-bit shard-local block (67 MB instead of 134 MB), mirroring the
+  // paper's counter-size optimization; per-cell shard counts stay < 2^32.
+  AlignedVector<uint32_t> cells_;
+};
+
+class AbsabShardSink : public StreamShardSink {
+ public:
+  explicit AbsabShardSink(uint64_t max_gap) : matches_(max_gap + 1, 0) {}
+
+  void ConsumeChunk(std::span<const uint8_t> chunk, size_t owned) override {
+    const uint8_t* c = chunk.data();
+    const size_t gaps = matches_.size();
+    for (size_t r = 0; r < owned; ++r) {
+      const uint8_t a = c[r];
+      const uint8_t b = c[r + 1];
+      for (size_t g = 0; g < gaps; ++g) {
+        matches_[g] += (a == c[r + g + 2] && b == c[r + g + 3]) ? 1 : 0;
+      }
+    }
+  }
+
+  std::span<const uint64_t> matches() const { return matches_; }
+
+ private:
+  AlignedVector<uint64_t> matches_;
+};
+
+class AlignedPairShardSink : public StreamShardSink {
+ public:
+  AlignedPairShardSink(uint32_t offset_a, uint32_t offset_b)
+      : offset_a_(offset_a), offset_b_(offset_b), cells_(65536, 0) {}
+
+  void ConsumeChunk(std::span<const uint8_t> chunk, size_t owned) override {
+    for (size_t base = 0; base < owned; base += 256) {
+      const uint8_t* block = chunk.data() + base;
+      cells_[static_cast<size_t>(block[offset_a_]) * 256 + block[offset_b_]] += 1;
+    }
+  }
+
+  std::span<const uint64_t> cells() const { return cells_; }
+
+ private:
+  uint32_t offset_a_;
+  uint32_t offset_b_;
+  AlignedVector<uint64_t> cells_;
+};
+
+}  // namespace
+
+std::unique_ptr<StreamShardSink> LongTermDigraphAccumulator::MakeShard() {
+  return std::make_unique<LongTermDigraphShardSink>();
+}
+
+void LongTermDigraphAccumulator::MergeShard(StreamShardSink& shard, uint64_t keys,
+                                            uint64_t owned_per_key) {
+  grid_.MergeCounts32(static_cast<LongTermDigraphShardSink&>(shard).cells(),
+                      keys * (owned_per_key / 256));
+}
+
+std::unique_ptr<StreamShardSink> AbsabAccumulator::MakeShard() {
+  return std::make_unique<AbsabShardSink>(max_gap_);
+}
+
+void AbsabAccumulator::MergeShard(StreamShardSink& shard, uint64_t keys,
+                                  uint64_t owned_per_key) {
+  const auto local = static_cast<AbsabShardSink&>(shard).matches();
+  for (size_t g = 0; g < matches_.size(); ++g) {
+    matches_[g] += local[g];
+    samples_[g] += keys * owned_per_key;
+  }
+}
+
+std::unique_ptr<StreamShardSink> AlignedPairAccumulator::MakeShard() {
+  return std::make_unique<AlignedPairShardSink>(offset_a_, offset_b_);
+}
+
+void AlignedPairAccumulator::MergeShard(StreamShardSink& shard, uint64_t keys,
+                                        uint64_t owned_per_key) {
+  (void)keys;
+  (void)owned_per_key;
+  const auto local = static_cast<AlignedPairShardSink&>(shard).cells();
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += local[i];
+  }
+}
+
+}  // namespace rc4b

@@ -1,0 +1,99 @@
+#include "src/engine/keystream_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/rc4/keygen.h"
+#include "src/rc4/rc4.h"
+#include "src/stats/counters.h"
+
+namespace rc4b {
+
+void RunKeystreamEngine(const EngineOptions& options, BiasAccumulator& accumulator) {
+  const size_t length = accumulator.KeystreamLength();
+  assert(length > 0);
+  const size_t batch_keys = std::max<size_t>(options.batch_keys, 1);
+  std::mutex merge_mutex;
+  ParallelChunks(options.keys, options.workers,
+                 [&](unsigned /*shard*/, uint64_t begin, uint64_t end) {
+    // All shards draw from the same AES-CTR stream: key k is key number k
+    // regardless of how [0, keys) was chunked, which makes the merged
+    // statistics invariant under the worker count.
+    Rc4KeyGenerator keygen(options.seed);
+    keygen.Seek(begin);
+    std::unique_ptr<ShardSink> sink;
+    {
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      sink = accumulator.MakeShard();
+    }
+    AlignedVector<uint8_t> buffer(batch_keys * length, 0);
+    for (uint64_t k = begin; k < end;) {
+      const size_t rows =
+          static_cast<size_t>(std::min<uint64_t>(batch_keys, end - k));
+      for (size_t r = 0; r < rows; ++r) {
+        Rc4 rc4(keygen.NextKey());
+        if (options.drop != 0) {
+          rc4.Skip(options.drop);
+        }
+        rc4.Keystream(std::span<uint8_t>(buffer.data() + r * length, length));
+      }
+      sink->Consume(KeystreamBatch{buffer.data(), rows, length});
+      k += rows;
+    }
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    accumulator.MergeShard(*sink, end - begin);
+  });
+}
+
+void RunLongTermEngine(const LongTermEngineOptions& options,
+                       StreamAccumulator& accumulator) {
+  const size_t lookahead = accumulator.Lookahead();
+  const size_t chunk = std::max<size_t>(options.chunk_bytes, 256);
+  assert(chunk % 256 == 0);
+  // bytes_per_key rounds down to whole 256-byte blocks only; a trailing
+  // window smaller than chunk_bytes is processed separately so the chunk
+  // size never changes the sample count.
+  const uint64_t owned_per_key = options.bytes_per_key / 256 * 256;
+  const uint64_t full_chunks = owned_per_key / chunk;
+  const size_t tail = static_cast<size_t>(owned_per_key % chunk);
+  std::mutex merge_mutex;
+  ParallelChunks(options.keys, options.workers,
+                 [&](unsigned /*shard*/, uint64_t begin, uint64_t end) {
+    Rc4KeyGenerator keygen(options.seed);
+    keygen.Seek(begin);
+    std::unique_ptr<StreamShardSink> sink;
+    {
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      sink = accumulator.MakeShard();
+    }
+    std::vector<uint8_t> buffer(chunk + lookahead);
+    for (uint64_t k = begin; k < end; ++k) {
+      Rc4 rc4(keygen.NextKey());
+      rc4.Skip(options.drop + accumulator.ExtraDrop());
+      sink->BeginKey();
+      // Prime the lookahead, then slide: each window owns `chunk` positions
+      // and carries `lookahead` context bytes into the next window.
+      rc4.Keystream(std::span<uint8_t>(buffer.data(), lookahead));
+      for (uint64_t c = 0; c < full_chunks; ++c) {
+        rc4.Keystream(std::span<uint8_t>(buffer.data() + lookahead, chunk));
+        sink->ConsumeChunk(buffer, chunk);
+        if (lookahead != 0) {
+          std::memmove(buffer.data(), buffer.data() + chunk, lookahead);
+        }
+      }
+      if (tail != 0) {
+        rc4.Keystream(std::span<uint8_t>(buffer.data() + lookahead, tail));
+        sink->ConsumeChunk(std::span<const uint8_t>(buffer.data(), tail + lookahead),
+                           tail);
+      }
+    }
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    accumulator.MergeShard(*sink, end - begin, owned_per_key);
+  });
+}
+
+}  // namespace rc4b

@@ -1,0 +1,142 @@
+// Sharded, batched RC4 keystream-statistics engine.
+//
+// The paper (Sect. 3.2) generated its keystream datasets on ~80 machines;
+// every worker derived random 128-bit RC4 keys with AES-CTR, accumulated
+// (position, value) counters locally, and merged them at the end. This engine
+// reproduces that worker/merge structure on one machine and makes it the
+// single hot path shared by dataset generation (src/biases/dataset.cc), the
+// bias scans, and the benchmark harnesses:
+//
+//   * keys are sharded over the thread pool in contiguous [begin, end)
+//     chunks; key number k is always key k of one AES-CTR stream (the shard
+//     Seek()s to its range), so the generated key set — and therefore every
+//     merged counter — is bit-exact for ANY worker count, including 1;
+//   * each shard generates keystreams in batches (cache-friendly contiguous
+//     rows) and feeds them to a shard-private sink: no locks, no sharing,
+//     counters cache-line aligned;
+//   * finished shards are merged exactly once, serialized by the engine.
+//
+// Two generation modes cover the paper's datasets:
+//   * RunKeystreamEngine — per-key initial keystreams of a fixed length
+//     (consec512/first16-style short-term statistics, Fig. 4/5, Table 2);
+//   * RunLongTermEngine — few keys, long streams (2^24+ bytes) consumed in
+//     overlapping chunks (Table 1 long-term digraphs, ABSAB/formula (1),
+//     aligned digraphs/formula (8)).
+#ifndef SRC_ENGINE_KEYSTREAM_ENGINE_H_
+#define SRC_ENGINE_KEYSTREAM_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+namespace rc4b {
+
+// A batch of `rows` keystreams of `length` bytes each, stored contiguously
+// row-major. Row r holds Z_1 .. Z_length of one RC4 key (after any
+// engine-level drop).
+struct KeystreamBatch {
+  const uint8_t* data = nullptr;
+  size_t rows = 0;
+  size_t length = 0;
+
+  std::span<const uint8_t> Row(size_t r) const {
+    return std::span<const uint8_t>(data + r * length, length);
+  }
+};
+
+// Shard-private consumer. The engine creates one per shard and calls
+// Consume() from exactly one thread, so implementations need no
+// synchronization and should keep their counters shard-local.
+class ShardSink {
+ public:
+  virtual ~ShardSink() = default;
+  virtual void Consume(const KeystreamBatch& batch) = 0;
+};
+
+// A statistics accumulator fed by the engine. Implementations own the final
+// merged statistic (typically a SingleByteGrid / DigraphGrid) and hand out
+// shard sinks whose counters they fold back in MergeShard() — which the
+// engine calls exactly once per shard, serialized, after the shard's last
+// Consume().
+class BiasAccumulator {
+ public:
+  virtual ~BiasAccumulator() = default;
+
+  // Keystream bytes the engine must generate per key.
+  virtual size_t KeystreamLength() const = 0;
+
+  virtual std::unique_ptr<ShardSink> MakeShard() = 0;
+
+  // `keys` is the number of keystreams the shard consumed.
+  virtual void MergeShard(ShardSink& shard, uint64_t keys) = 0;
+};
+
+struct EngineOptions {
+  uint64_t keys = 1 << 20;  // RC4 keys to sample
+  unsigned workers = 0;     // shards; 0 = hardware concurrency
+  uint64_t seed = 1;        // AES-CTR key-generator seed
+  uint64_t drop = 0;        // initial keystream bytes discarded per key
+  size_t batch_keys = 64;   // keystreams per generated batch
+};
+
+// Generates `options.keys` keystreams of accumulator.KeystreamLength() bytes
+// and streams them through per-shard sinks. Key k is key number k of the
+// AES-CTR stream seeded with `options.seed`, independent of sharding:
+// merged results are bit-identical for any `workers`.
+void RunKeystreamEngine(const EngineOptions& options, BiasAccumulator& accumulator);
+
+// ------------------------------------------------------------------------
+// Long-term (streaming) mode.
+
+// Shard-private consumer of one key's long keystream, delivered as
+// overlapping windows chunk[0 .. owned + Lookahead()): the first `owned`
+// positions belong to this call; the trailing Lookahead() bytes are context
+// shared with the next window (a digraph or ABSAB pattern starting at an
+// owned position may read up to Lookahead() bytes past it).
+class StreamShardSink {
+ public:
+  virtual ~StreamShardSink() = default;
+
+  // Called at the start of each key's stream; `owned` positions restart at 0.
+  virtual void BeginKey() {}
+
+  virtual void ConsumeChunk(std::span<const uint8_t> chunk, size_t owned) = 0;
+};
+
+class StreamAccumulator {
+ public:
+  virtual ~StreamAccumulator() = default;
+
+  // Context bytes past the owned region each window must carry.
+  virtual size_t Lookahead() const = 0;
+
+  // Extra per-key drop on top of LongTermEngineOptions::drop (e.g. the
+  // aligned-digraph dataset realigns to a 256-block boundary).
+  virtual uint64_t ExtraDrop() const { return 0; }
+
+  virtual std::unique_ptr<StreamShardSink> MakeShard() = 0;
+
+  // `keys` is the shard's key count, `owned_per_key` the number of owned
+  // positions each key contributed.
+  virtual void MergeShard(StreamShardSink& shard, uint64_t keys,
+                          uint64_t owned_per_key) = 0;
+};
+
+struct LongTermEngineOptions {
+  uint64_t keys = 1 << 8;
+  uint64_t bytes_per_key = 1 << 24;  // rounded down to a 256-byte multiple
+  uint64_t drop = 1024;              // initial bytes discarded per key
+  unsigned workers = 0;
+  uint64_t seed = 1;
+  size_t chunk_bytes = 1 << 16;  // owned bytes per window (multiple of 256)
+};
+
+// Streams `bytes_per_key` keystream bytes per key (rounded down to whole
+// 256-byte blocks; the chunk size never changes the sample count) through
+// per-shard stream sinks. Sharding-invariant exactly like RunKeystreamEngine.
+void RunLongTermEngine(const LongTermEngineOptions& options,
+                       StreamAccumulator& accumulator);
+
+}  // namespace rc4b
+
+#endif  // SRC_ENGINE_KEYSTREAM_ENGINE_H_

@@ -1,9 +1,10 @@
 // Deterministic RC4 key generation for dataset workers.
 //
-// Matches the paper's setup (Sect. 3.2): each worker holds an AES key and
-// derives a stream of random 128-bit RC4 keys using AES in counter mode.
-// Workers are seeded deterministically here (instead of from /dev/urandom) so
-// datasets are reproducible; pass a different `worker_seed` per worker.
+// Matches the paper's setup (Sect. 3.2): an AES key derives a stream of
+// random 128-bit RC4 keys using AES in counter mode, seeded deterministically
+// (instead of from /dev/urandom) so datasets are reproducible. The engine
+// gives every shard the same seed and Seek()s to the shard's global key
+// range, making datasets invariant under the worker count.
 #ifndef SRC_RC4_KEYGEN_H_
 #define SRC_RC4_KEYGEN_H_
 

@@ -12,6 +12,27 @@ void SingleByteGrid::Merge(const SingleByteGrid& other) {
   keys_ += other.keys_;
 }
 
+void SingleByteGrid::MergeCells(std::span<const uint64_t> cells, uint64_t keys) {
+  assert(cells.size() == counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += cells[i];
+  }
+  keys_ += keys;
+}
+
+void SingleByteGrid::MergeCounts32(std::span<const uint32_t> local, uint64_t keys) {
+  assert(local.size() == counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += local[i];
+  }
+  keys_ += keys;
+}
+
+bool operator==(const SingleByteGrid& a, const SingleByteGrid& b) {
+  return a.positions_ == b.positions_ && a.keys_ == b.keys_ &&
+         a.counts_ == b.counts_;
+}
+
 void DigraphGrid::Merge(const DigraphGrid& other) {
   assert(positions_ == other.positions_);
   for (size_t i = 0; i < counts_.size(); ++i) {
@@ -20,12 +41,25 @@ void DigraphGrid::Merge(const DigraphGrid& other) {
   keys_ += other.keys_;
 }
 
+void DigraphGrid::MergeCells(std::span<const uint64_t> cells, uint64_t keys) {
+  assert(cells.size() == counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += cells[i];
+  }
+  keys_ += keys;
+}
+
 void DigraphGrid::MergeCounts32(std::span<const uint32_t> local, uint64_t keys) {
   assert(local.size() == counts_.size());
   for (size_t i = 0; i < counts_.size(); ++i) {
     counts_[i] += local[i];
   }
   keys_ += keys;
+}
+
+bool operator==(const DigraphGrid& a, const DigraphGrid& b) {
+  return a.positions_ == b.positions_ && a.keys_ == b.keys_ &&
+         a.counts_ == b.counts_;
 }
 
 double DigraphGrid::MarginalFirst(size_t pos, uint8_t v) const {
@@ -48,6 +82,14 @@ double DigraphGrid::MarginalSecond(size_t pos, uint8_t v) const {
 }
 
 void WorkerTile::FlushInto(std::span<uint64_t> out) {
+  assert(out.size() == counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out[i] += counts_[i];
+    counts_[i] = 0;
+  }
+}
+
+void WorkerTile::FlushInto(std::span<uint32_t> out) {
   assert(out.size() == counts_.size());
   for (size_t i = 0; i < counts_.size(); ++i) {
     out[i] += counts_[i];

@@ -8,11 +8,44 @@
 #ifndef SRC_STATS_COUNTERS_H_
 #define SRC_STATS_COUNTERS_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <new>
 #include <span>
 #include <vector>
 
 namespace rc4b {
+
+// Cache-line alignment for shard-local counter blocks: engine shards write
+// their counters lock-free from one thread each, and aligning every shard's
+// block to its own cache lines keeps false sharing out of the hot loop.
+inline constexpr size_t kCacheLineBytes = 64;
+
+template <typename T>
+class CacheAlignedAllocator {
+ public:
+  using value_type = T;
+
+  CacheAlignedAllocator() noexcept = default;
+  template <typename U>
+  CacheAlignedAllocator(const CacheAlignedAllocator<U>&) noexcept {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kCacheLineBytes}));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kCacheLineBytes});
+  }
+
+  template <typename U>
+  bool operator==(const CacheAlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, CacheAlignedAllocator<T>>;
 
 // counts[pos * 256 + value] over `positions` keystream positions.
 class SingleByteGrid {
@@ -41,6 +74,15 @@ class SingleByteGrid {
   // Merges another grid (e.g. a worker shard) into this one.
   void Merge(const SingleByteGrid& other);
 
+  // Adds a shard's raw cell block (same pos-major layout) plus its key count.
+  // The one-shot merge path used by engine accumulators.
+  void MergeCells(std::span<const uint64_t> cells, uint64_t keys);
+  void MergeCounts32(std::span<const uint32_t> local, uint64_t keys);
+
+  // Exact equality of positions, key count and every cell (merge
+  // bit-exactness checks).
+  friend bool operator==(const SingleByteGrid& a, const SingleByteGrid& b);
+
   // Empirical probability estimate Pr[Z_pos = value].
   double Probability(size_t pos, uint8_t value) const {
     return static_cast<double>(Count(pos, value)) / static_cast<double>(keys_);
@@ -48,7 +90,7 @@ class SingleByteGrid {
 
  private:
   size_t positions_;
-  std::vector<uint64_t> counts_;
+  AlignedVector<uint64_t> counts_;
   uint64_t keys_ = 0;
 };
 
@@ -80,8 +122,13 @@ class DigraphGrid {
 
   void Merge(const DigraphGrid& other);
 
+  // Adds a shard's raw cell block plus its key count (engine merge path).
+  void MergeCells(std::span<const uint64_t> cells, uint64_t keys);
+
   // Adds 32-bit worker-local counts into this grid.
   void MergeCounts32(std::span<const uint32_t> local, uint64_t keys);
+
+  friend bool operator==(const DigraphGrid& a, const DigraphGrid& b);
 
   double Probability(size_t pos, uint8_t v1, uint8_t v2) const {
     return static_cast<double>(Count(pos, v1, v2)) / static_cast<double>(keys_);
@@ -94,27 +141,29 @@ class DigraphGrid {
 
  private:
   size_t positions_;
-  std::vector<uint64_t> counts_;
+  AlignedVector<uint64_t> counts_;
   uint64_t keys_ = 0;
 };
 
 // 16-bit worker-local tile that spills into a 64-bit grid. The worker may
 // call Add() at most 2^16 - 1 times per cell between FlushInto() calls;
 // dataset drivers pick their flush cadence from the largest per-cell
-// probability they can encounter (see src/biases/dataset.cc).
+// probability they can encounter (see src/engine/accumulators.cc).
 class WorkerTile {
  public:
   explicit WorkerTile(size_t cells) : counts_(cells, 0) {}
 
   void Add(size_t cell) { ++counts_[cell]; }
 
-  // Adds all counts into `out[cell]` and zeroes the tile.
+  // Adds all counts into `out[cell]` and zeroes the tile. The 32-bit form is
+  // for shard-local spill blocks (per-cell shard totals must stay < 2^32).
   void FlushInto(std::span<uint64_t> out);
+  void FlushInto(std::span<uint32_t> out);
 
   size_t cells() const { return counts_.size(); }
 
  private:
-  std::vector<uint16_t> counts_;
+  AlignedVector<uint16_t> counts_;
 };
 
 }  // namespace rc4b

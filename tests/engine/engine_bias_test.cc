@@ -1,0 +1,95 @@
+// Statistical validation of the engine against the analytic Fluhrer–McGrew
+// model (src/biases/fluhrer_mcgrew.cc) at keystream positions 1..256.
+//
+// The paper needed 2^44+ keys to measure individual FM digraphs (each is a
+// 2^-8-relative deviation on a 2^-16 cell); a unit test cannot reach that
+// scale, so we pool all ~1800 FM cells across positions 1..256 into one
+// matched-filter estimate of the bias scale:
+//
+//   lambda = sum_c q_c (m_c / e_c - 1) / sum_c q_c^2,
+//
+// where m_c is the measured cell probability, e_c the independence
+// expectation from the row's measured single-byte marginals (the same
+// baseline bias_scan uses — at short-term positions the marginals are
+// themselves biased, so comparing against a flat 2^-16 would systematically
+// inflate the estimate), and q_c the model's relative bias. E[lambda] = 1 if
+// the engine reproduces the model, 0 if the FM digraph structure is absent.
+// The engine is deterministic for a fixed seed (and invariant under worker
+// count), so the observed value is stable across machines and thread counts;
+// the band below leaves multiple analytic sigma (sd(lambda) ~
+// 1/sqrt(n u sum q^2) ~ 0.5 at 2^22 keys) on each side of the observed value.
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/biases/fluhrer_mcgrew.h"
+#include "src/engine/accumulators.h"
+#include "src/engine/keystream_engine.h"
+
+namespace rc4b {
+namespace {
+
+TEST(EngineBiasTest, FluhrerMcGrewScaleAtPositions1To256) {
+  constexpr uint64_t kKeys = uint64_t{1} << 22;
+  constexpr size_t kPositions = 256;
+
+  EngineOptions options;
+  options.keys = kKeys;
+  options.workers = 0;
+  options.seed = 20160810;  // fixed: the dataset (and lambda) is reproducible
+  ConsecutiveAccumulator accumulator(kPositions);
+  RunKeystreamEngine(options, accumulator);
+  const DigraphGrid& grid = accumulator.grid();
+
+  const double n = static_cast<double>(grid.keys());
+  double numerator = 0.0;
+  double q_squared = 0.0;
+  size_t fm_cells = 0;
+  for (size_t row = 0; row < kPositions; ++row) {
+    const uint64_t r = row + 1;  // digraph (Z_r, Z_{r+1})
+    // Several Table 1 rows can share a cell at particular i; pool their
+    // relative biases additively (exact to first order).
+    std::map<size_t, double> cells;
+    for (const FmDigraph& d : FmDigraphsAt(PrgaCounterAtPosition(r), r)) {
+      cells[static_cast<size_t>(d.v1) * 256 + d.v2] += d.relative_bias;
+    }
+    for (const auto& [cell, q] : cells) {
+      const uint8_t v1 = static_cast<uint8_t>(cell / 256);
+      const uint8_t v2 = static_cast<uint8_t>(cell % 256);
+      const double expected =
+          grid.MarginalFirst(row, v1) * grid.MarginalSecond(row, v2);
+      const double measured = static_cast<double>(grid.Row(row)[cell]) / n;
+      numerator += q * (measured / expected - 1.0);
+      q_squared += q * q;
+      ++fm_cells;
+    }
+  }
+  ASSERT_GT(fm_cells, 1500u);
+  const double lambda = numerator / q_squared;
+  RecordProperty("fm_lambda", std::to_string(lambda));
+  std::printf("matched-filter FM bias scale lambda = %.4f over %zu cells\n",
+              lambda, fm_cells);
+
+  // Analytic sd(lambda) ~ 0.5; a missing FM structure gives lambda ~ 0, a
+  // doubled bias ~ 2+. The fixed seed makes the observed value deterministic
+  // (1.53 as of this writing).
+  EXPECT_GT(lambda, 0.3);
+  EXPECT_LT(lambda, 1.8);
+
+  // Cross-check at full unit-test power inside the same dataset: the strong
+  // Mantin–Shamir single-byte bias Pr[Z2 = 0] ~ 2^-7, a >40-sigma signal at
+  // 2^22 keys.
+  uint64_t z2_zero = 0;
+  for (int v1 = 0; v1 < 256; ++v1) {
+    z2_zero += grid.Count(0, static_cast<uint8_t>(v1), 0);  // row 0: (Z1, Z2)
+  }
+  const double z2_probability = static_cast<double>(z2_zero) / n;
+  EXPECT_NEAR(z2_probability, 2.0 / 256.0, 0.1 / 256.0);
+}
+
+}  // namespace
+}  // namespace rc4b
