@@ -2,42 +2,23 @@
 // ~2^23 candidate attempts, and with only the most likely candidate, vs the
 // number of captured request ciphertexts (x-axis in units of 2^27).
 //
-// Likelihoods combine the Fluhrer-McGrew double-byte estimate at each of the
-// 17 adjacent pairs spanning m1 || cookie || mL with the multi-gap ABSAB
-// differential estimates against the injected known plaintext (Sect. 6).
-// Ciphertext statistics are sampled from their exact Poissonized law; the
+// The simulation lives in src/sim/cookie_sim.h: likelihoods combine the
+// Fluhrer-McGrew double-byte estimate at each of the 17 adjacent pairs
+// spanning m1 || cookie || mL with the multi-gap ABSAB differential
+// estimates against the injected known plaintext (Sect. 6); ciphertext
+// statistics are sampled from their exact Poissonized law; the
 // "rank <= 2^23" criterion is evaluated with the Markov rank DP instead of
-// materializing the Algorithm 2 list.
+// materializing the Algorithm 2 list. Trials are sharded on the src/sim/
+// runner, so every printed row is bit-exact for any --workers value.
+#include <cmath>
 #include <cstdio>
-#include <mutex>
-#include <vector>
 
 #include "bench/harness.h"
-#include "src/biases/fluhrer_mcgrew.h"
-#include "src/biases/mantin.h"
 #include "src/common/flags.h"
-#include "src/common/rng.h"
-#include "src/common/thread_pool.h"
-#include "src/core/likelihood.h"
-#include "src/core/rank.h"
-#include "src/core/synthetic.h"
-#include "src/tls/cookie_attack.h"
+#include "src/sim/cookie_sim.h"
 
 namespace rc4b {
 namespace {
-
-// ABSAB gap sets per pair index t (0..16): known pairs after the cookie need
-// gap >= 15 - t; known pairs before need gap >= t + 1; both capped at 128.
-std::vector<double> AlphasForPair(size_t t, uint64_t max_gap) {
-  std::vector<double> alphas;
-  for (uint64_t g = 15 - std::min<uint64_t>(t, 15); g <= max_gap; ++g) {
-    alphas.push_back(AbsabAlpha(g));
-  }
-  for (uint64_t g = t + 1; g <= max_gap; ++g) {
-    alphas.push_back(AbsabAlpha(g));
-  }
-  return alphas;
-}
 
 int Run(int argc, char** argv) {
   FlagSet flags("Fig. 10: cookie brute-force success vs ciphertexts x 2^27");
@@ -53,80 +34,34 @@ int Run(int argc, char** argv) {
     return 0;
   }
 
-  const int sims = static_cast<int>(flags.GetInt("sims"));
-  const uint64_t max_gap = flags.GetUint("max-gap");
-  const size_t alignment = flags.GetUint("alignment");
-  const double budget = std::exp2(static_cast<double>(flags.GetInt("attempts-log2")));
-
   bench::PrintHeader(
       "bench_fig10_cookie_bruteforce",
       "Fig. 10 (16-char cookie recovery, 2^23 attempts vs 1 attempt)",
       "expected shape: with 2^23 attempts success passes ~90% around 9 x 2^27 "
       "ciphertexts; the 1-candidate curve lags far behind");
 
-  const auto alphabet = CookieAlphabet64();
-  const size_t cookie_len = 16;
-  const uint8_t m1 = '=';   // byte before the cookie value
-  const uint8_t m_last = ';';  // byte after (injected cookie separator)
-
-  // Precompute per-pair FM models at the aligned keystream counters and the
-  // per-pair ABSAB gap sets.
-  std::vector<SparseDigraphModel> fm_models;
-  std::vector<std::vector<double>> fm_tables;
-  std::vector<std::vector<double>> alphas;
-  for (size_t t = 0; t <= cookie_len; ++t) {
-    const uint8_t i = PrgaCounterAtPosition(alignment + t);  // pair's first byte
-    fm_models.push_back(FmSparseModel(i, 1 << 20));
-    fm_tables.push_back(FmDigraphTable(i, 1 << 20));
-    alphas.push_back(AlphasForPair(t, max_gap));
-  }
-
-  std::vector<uint64_t> checkpoints;
-  for (uint64_t copies = 1; copies <= flags.GetUint("max-copies");
-       copies += flags.GetUint("step")) {
-    checkpoints.push_back(copies << 27);
-  }
+  sim::CookieSimOptions options;
+  options.alignment = flags.GetUint("alignment");
+  options.max_gap = flags.GetUint("max-gap");
+  options.attempt_budget =
+      std::exp2(static_cast<double>(flags.GetInt("attempts-log2")));
+  options.trials = flags.GetUint("sims");
+  options.workers = static_cast<unsigned>(flags.GetUint("workers"));
+  options.seed = flags.GetUint("seed");
+  const sim::CookieSimContext context(options);
 
   std::printf("%-16s %16s %16s\n", "copies (x2^27)", "2^23 attempts",
               "1 attempt");
-  for (uint64_t trials : checkpoints) {
-    std::vector<int> wins(2, 0);
-    std::mutex mutex;
-    ParallelChunks(sims, static_cast<unsigned>(flags.GetUint("workers")),
-                   [&](unsigned, uint64_t begin, uint64_t end) {
-      for (uint64_t s = begin; s < end; ++s) {
-        Xoshiro256 rng(flags.GetUint("seed") * 104729 + trials + s * 31);
-        Bytes truth(cookie_len);
-        for (auto& b : truth) {
-          b = alphabet[rng.Below(alphabet.size())];
-        }
-
-        DoubleByteTables transitions(cookie_len + 1);
-        for (size_t t = 0; t <= cookie_len; ++t) {
-          const uint8_t p1 = t == 0 ? m1 : truth[t - 1];
-          const uint8_t p2 = t == cookie_len ? m_last : truth[t];
-          const auto counts =
-              SampleCiphertextPairCounts(fm_tables[t], p1, p2, trials, rng);
-          transitions[t] =
-              DoubleByteLogLikelihoodSparse(counts, trials, fm_models[t]);
-          const uint16_t true_pair = static_cast<uint16_t>(p1 << 8 | p2);
-          const auto absab =
-              SampleAbsabScoreTable(alphas[t], trials, true_pair, rng);
-          CombineInPlace(transitions[t], absab);
-        }
-
-        const auto bracket =
-            MarkovRank(transitions, m1, m_last, truth, alphabet);
-        const Bytes best =
-            MarkovBest(transitions, m1, m_last, cookie_len, alphabet);
-        std::lock_guard<std::mutex> lock(mutex);
-        wins[0] += bracket.estimate() < budget ? 1 : 0;
-        wins[1] += best == truth ? 1 : 0;
-      }
-    });
+  for (uint64_t copies = 1; copies <= flags.GetUint("max-copies");
+       copies += flags.GetUint("step")) {
+    const uint64_t ciphertexts = copies << 27;
+    const auto aggregate = sim::RunCookieSimulations(context, ciphertexts);
     std::printf("%-16llu %15.1f%% %15.1f%%\n",
-                static_cast<unsigned long long>(trials >> 27),
-                100.0 * wins[0] / sims, 100.0 * wins[1] / sims);
+                static_cast<unsigned long long>(copies),
+                100.0 * static_cast<double>(aggregate.budget_wins) /
+                    static_cast<double>(aggregate.trials),
+                100.0 * static_cast<double>(aggregate.best_wins) /
+                    static_cast<double>(aggregate.trials));
   }
   return 0;
 }

@@ -6,7 +6,8 @@
 // Ciphertext statistics are sampled from their exact Poissonized law
 // (src/core/synthetic.h) so the paper's x-axis range 2^27..2^39 runs in
 // seconds; the samplers are validated against real RC4 in the test suite.
-#include <atomic>
+// Trials run on the src/sim/ runner: per-checkpoint counts are bit-exact
+// for any --workers value.
 #include <cstdio>
 #include <vector>
 
@@ -14,13 +15,18 @@
 #include "src/biases/fluhrer_mcgrew.h"
 #include "src/biases/mantin.h"
 #include "src/common/flags.h"
-#include "src/common/rng.h"
-#include "src/common/thread_pool.h"
 #include "src/core/likelihood.h"
 #include "src/core/synthetic.h"
+#include "src/sim/runner.h"
 
 namespace rc4b {
 namespace {
+
+struct Fig7Trial {
+  bool absab_win = false;
+  bool fm_win = false;
+  bool combined_win = false;
+};
 
 int Run(int argc, char** argv) {
   FlagSet flags("Fig. 7: two-byte recovery, ABSAB vs FM vs combined");
@@ -34,11 +40,12 @@ int Run(int argc, char** argv) {
     return 0;
   }
 
-  const int sims = static_cast<int>(flags.GetInt("sims"));
+  const uint64_t sims = flags.GetUint("sims");
   const int min_log2 = static_cast<int>(flags.GetInt("min-log2"));
   const int max_log2 = static_cast<int>(flags.GetInt("max-log2"));
   const uint8_t counter = static_cast<uint8_t>(flags.GetUint("counter"));
   const uint64_t seed = flags.GetUint("seed");
+  const unsigned workers = static_cast<unsigned>(flags.GetUint("workers"));
 
   bench::PrintHeader(
       "bench_fig7_recovery_rate",
@@ -61,40 +68,45 @@ int Run(int argc, char** argv) {
               "combined");
   for (int log2_n = min_log2; log2_n <= max_log2; ++log2_n) {
     const uint64_t trials = uint64_t{1} << log2_n;
-    std::atomic<int> absab_wins{0}, fm_wins{0}, combined_wins{0};
-    ParallelChunks(sims, static_cast<unsigned>(flags.GetUint("workers")),
-                   [&](unsigned, uint64_t begin, uint64_t end) {
-      for (uint64_t s = begin; s < end; ++s) {
-        Xoshiro256 rng(seed * 7919 + static_cast<uint64_t>(log2_n) * 1009 + s);
-        const uint8_t p1 = rng.Byte();
-        const uint8_t p2 = rng.Byte();
-        const size_t truth = static_cast<size_t>(p1) * 256 + p2;
+    // Each checkpoint gets its own seed stream derived from (seed, log2_n).
+    const auto results = sim::RunTrials<Fig7Trial>(
+        sim::TrialRunnerOptions{
+            sims, workers, sim::TrialSeed(seed, static_cast<uint64_t>(log2_n))},
+        [&](uint64_t, Xoshiro256& rng) {
+          const uint8_t p1 = rng.Byte();
+          const uint8_t p2 = rng.Byte();
+          const size_t truth = static_cast<size_t>(p1) * 256 + p2;
 
-        // FM estimate.
-        const auto counts = SampleCiphertextPairCounts(fm_table, p1, p2, trials, rng);
-        auto fm_lambda = DoubleByteLogLikelihoodSparse(counts, trials, fm_model);
+          // FM estimate.
+          const auto counts =
+              SampleCiphertextPairCounts(fm_table, p1, p2, trials, rng);
+          auto fm_lambda = DoubleByteLogLikelihoodSparse(counts, trials, fm_model);
 
-        // ABSAB estimates (known plaintext folded to zero, WLOG).
-        const auto absab_single = SampleAbsabScoreTable(
-            one_alpha, trials, static_cast<uint16_t>(truth), rng);
-        const auto absab_all = SampleAbsabScoreTable(
-            all_alphas, trials, static_cast<uint16_t>(truth), rng);
+          // ABSAB estimates (known plaintext folded to zero, WLOG).
+          const auto absab_single = SampleAbsabScoreTable(
+              one_alpha, trials, static_cast<uint16_t>(truth), rng);
+          const auto absab_all = SampleAbsabScoreTable(
+              all_alphas, trials, static_cast<uint16_t>(truth), rng);
 
-        if (ArgMax(absab_single) == truth) {
-          ++absab_wins;
-        }
-        if (ArgMax(fm_lambda) == truth) {
-          ++fm_wins;
-        }
-        CombineInPlace(fm_lambda, absab_all);  // formula (25)
-        if (ArgMax(fm_lambda) == truth) {
-          ++combined_wins;
-        }
-      }
-    });
+          Fig7Trial result;
+          result.absab_win = ArgMax(absab_single) == truth;
+          result.fm_win = ArgMax(fm_lambda) == truth;
+          CombineInPlace(fm_lambda, absab_all);  // formula (25)
+          result.combined_win = ArgMax(fm_lambda) == truth;
+          return result;
+        });
+
+    uint64_t absab_wins = 0, fm_wins = 0, combined_wins = 0;
+    for (const Fig7Trial& result : results) {
+      absab_wins += result.absab_win ? 1 : 0;
+      fm_wins += result.fm_win ? 1 : 0;
+      combined_wins += result.combined_win ? 1 : 0;
+    }
     std::printf("%-10d %11.1f%% %11.1f%% %11.1f%%\n", log2_n,
-                100.0 * absab_wins / sims, 100.0 * fm_wins / sims,
-                100.0 * combined_wins / sims);
+                100.0 * static_cast<double>(absab_wins) / static_cast<double>(sims),
+                100.0 * static_cast<double>(fm_wins) / static_cast<double>(sims),
+                100.0 * static_cast<double>(combined_wins) /
+                    static_cast<double>(sims));
   }
   return 0;
 }

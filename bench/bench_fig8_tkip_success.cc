@@ -3,14 +3,13 @@
 // and with only the two best candidates. Uses real TKIP key mixing + RC4 per
 // packet; the candidate-list position of the true trailer is computed
 // exactly by the rank DP (materializing 2^30 candidates is infeasible).
-#include <atomic>
+// Trials run on the src/sim/ subsystem: results are bit-exact for any
+// --workers value (docs/sim.md).
 #include <cstdio>
-#include <mutex>
 
 #include "bench/harness.h"
-#include "bench/tkip_sim.h"
 #include "src/common/flags.h"
-#include "src/common/thread_pool.h"
+#include "src/sim/tkip_sim.h"
 
 namespace rc4b {
 namespace {
@@ -26,8 +25,8 @@ int Run(int argc, char** argv) {
               "calibrate the model's RMS relative bias (0 = leave the raw "
               "model, whose sampling noise inflates the signal)")
       .Define("oracle", "true",
-              "perfect-model victim (see tkip_sim.h); false = real TKIP "
-              "mixing + RC4 with an honestly-trained model")
+              "perfect-model victim (see src/sim/tkip_sim.h); false = real "
+              "TKIP mixing + RC4 with an honestly-trained model")
       .Define("workers", "0", "worker threads")
       .Define("seed", "11", "simulation seed")
       .Define("model-seed", "12", "attacker model seed (independent of sims)");
@@ -35,7 +34,6 @@ int Run(int argc, char** argv) {
     return 0;
   }
 
-  const int sims = static_cast<int>(flags.GetInt("sims"));
   const uint64_t max_copies = flags.GetUint("max-copies");
   const uint64_t step = flags.GetUint("step");
 
@@ -46,7 +44,7 @@ int Run(int argc, char** argv) {
       "(paper: per-(TSC0,TSC1) at 2^32); success needs more copies than the "
       "paper's but the candidate-list >> 2-candidate gap must reproduce");
 
-  const Bytes msdu = bench::InjectedPacket();
+  const Bytes msdu = sim::InjectedPacket();
   TkipTscModel model(msdu.size() + 1, msdu.size() + kTkipTrailerSize);
   std::printf("generating attacker model (256 classes x %llu keys)...\n",
               static_cast<unsigned long long>(flags.GetUint("keys-per-tsc")));
@@ -62,35 +60,27 @@ int Run(int argc, char** argv) {
                 raw_rms, model.RmsRelativeDeviation());
   }
 
-  bench::TkipSimOptions options;
+  sim::TkipSimOptions options;
   for (uint64_t copies = 1; copies <= max_copies; copies += step) {
     options.checkpoints.push_back(copies << 20);
   }
   options.candidate_budget = uint64_t{1} << flags.GetUint("budget-log2");
+  options.trials = flags.GetUint("sims");
+  options.workers = static_cast<unsigned>(flags.GetUint("workers"));
   options.seed = flags.GetUint("seed");
   options.oracle_model = flags.GetBool("oracle");
 
-  std::vector<int> budget_wins(options.checkpoints.size(), 0);
-  std::vector<int> two_wins(options.checkpoints.size(), 0);
-  std::mutex mutex;
-  ParallelChunks(sims, static_cast<unsigned>(flags.GetUint("workers")),
-                 [&](unsigned, uint64_t begin, uint64_t end) {
-    for (uint64_t s = begin; s < end; ++s) {
-      const auto points = bench::RunTkipSimulation(model, options, s);
-      std::lock_guard<std::mutex> lock(mutex);
-      for (size_t c = 0; c < points.size(); ++c) {
-        budget_wins[c] += points[c].success_with_budget ? 1 : 0;
-        two_wins[c] += points[c].success_with_two ? 1 : 0;
-      }
-    }
-  });
+  const auto aggregate = sim::RunTkipSimulations(model, options);
 
   std::printf("\n%-16s %16s %16s\n", "copies (x2^20)", "2^30 candidates",
               "2 candidates");
-  for (size_t c = 0; c < options.checkpoints.size(); ++c) {
+  for (size_t c = 0; c < aggregate.checkpoints.size(); ++c) {
     std::printf("%-16llu %15.1f%% %15.1f%%\n",
-                static_cast<unsigned long long>(options.checkpoints[c] >> 20),
-                100.0 * budget_wins[c] / sims, 100.0 * two_wins[c] / sims);
+                static_cast<unsigned long long>(aggregate.checkpoints[c] >> 20),
+                100.0 * static_cast<double>(aggregate.budget_wins[c]) /
+                    static_cast<double>(aggregate.trials),
+                100.0 * static_cast<double>(aggregate.two_wins[c]) /
+                    static_cast<double>(aggregate.trials));
   }
   return 0;
 }

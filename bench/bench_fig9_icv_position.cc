@@ -1,15 +1,14 @@
 // Fig. 9 — median position in the candidate list of the first candidate with
 // a correct ICV, vs the number of captured packet copies. Shares the Fig. 8
-// harness: the position is min(rank of the true trailer, first CRC false
-// positive), evaluated with the exact rank DP.
+// simulation (src/sim/tkip_sim.h): the position is min(rank of the true
+// trailer, first CRC false positive), evaluated with the exact rank DP.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
-#include <mutex>
 
 #include "bench/harness.h"
-#include "bench/tkip_sim.h"
 #include "src/common/flags.h"
-#include "src/common/thread_pool.h"
+#include "src/sim/tkip_sim.h"
 
 namespace rc4b {
 namespace {
@@ -24,16 +23,14 @@ int Run(int argc, char** argv) {
               "calibrate the model's RMS relative bias (0 = leave the raw "
               "model, whose sampling noise inflates the signal)")
       .Define("oracle", "true",
-              "perfect-model victim (see tkip_sim.h); false = real TKIP "
-              "mixing + RC4 with an honestly-trained model")
+              "perfect-model victim (see src/sim/tkip_sim.h); false = real "
+              "TKIP mixing + RC4 with an honestly-trained model")
       .Define("workers", "0", "worker threads")
       .Define("seed", "13", "simulation seed")
       .Define("model-seed", "14", "attacker model seed");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
-
-  const int sims = static_cast<int>(flags.GetInt("sims"));
 
   bench::PrintHeader(
       "bench_fig9_icv_position",
@@ -42,7 +39,7 @@ int Run(int argc, char** argv) {
       "(absolute values shifted right of the paper's due to the scaled-down "
       "attacker model)");
 
-  const Bytes msdu = bench::InjectedPacket();
+  const Bytes msdu = sim::InjectedPacket();
   TkipTscModel model(msdu.size() + 1, msdu.size() + kTkipTrailerSize);
   std::printf("generating attacker model...\n");
   model.Generate(flags.GetUint("keys-per-tsc"), flags.GetUint("model-seed"),
@@ -57,35 +54,29 @@ int Run(int argc, char** argv) {
                 raw_rms, model.RmsRelativeDeviation());
   }
 
-  bench::TkipSimOptions options;
+  sim::TkipSimOptions options;
   for (uint64_t copies = 1; copies <= flags.GetUint("max-copies");
        copies += flags.GetUint("step")) {
     options.checkpoints.push_back(copies << 20);
   }
+  options.trials = flags.GetUint("sims");
+  options.workers = static_cast<unsigned>(flags.GetUint("workers"));
   options.seed = flags.GetUint("seed");
   options.oracle_model = flags.GetBool("oracle");
 
-  std::vector<std::vector<double>> positions(options.checkpoints.size());
-  std::mutex mutex;
-  ParallelChunks(sims, static_cast<unsigned>(flags.GetUint("workers")),
-                 [&](unsigned, uint64_t begin, uint64_t end) {
-    for (uint64_t s = begin; s < end; ++s) {
-      const auto points = bench::RunTkipSimulation(model, options, s);
-      std::lock_guard<std::mutex> lock(mutex);
-      for (size_t c = 0; c < points.size(); ++c) {
-        positions[c].push_back(points[c].first_icv_position);
-      }
-    }
-  });
+  const auto aggregate = sim::RunTkipSimulations(model, options);
 
   std::printf("\n%-16s %18s %12s\n", "copies (x2^20)", "median position",
               "log2");
-  for (size_t c = 0; c < options.checkpoints.size(); ++c) {
-    auto& list = positions[c];
+  for (size_t c = 0; c < aggregate.checkpoints.size(); ++c) {
+    auto list = aggregate.icv_positions[c];
+    if (list.empty()) {
+      continue;  // --sims=0
+    }
     std::sort(list.begin(), list.end());
     const double median = list[list.size() / 2];
     std::printf("%-16llu %18.0f %12.2f\n",
-                static_cast<unsigned long long>(options.checkpoints[c] >> 20),
+                static_cast<unsigned long long>(aggregate.checkpoints[c] >> 20),
                 median, median > 0 ? std::log2(median) : 0.0);
   }
   return 0;

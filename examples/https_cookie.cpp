@@ -19,12 +19,9 @@
 // honest end-to-end TLS capture at whatever --requests you can afford.
 #include <cstdio>
 
-#include "src/biases/fluhrer_mcgrew.h"
-#include "src/biases/mantin.h"
 #include "src/common/flags.h"
 #include "src/common/rng.h"
-#include "src/core/likelihood.h"
-#include "src/core/synthetic.h"
+#include "src/sim/cookie_sim.h"
 #include "src/tls/cookie_attack.h"
 #include "src/tls/session.h"
 
@@ -80,35 +77,30 @@ int main(int argc, char** argv) {
     CookieCaptureStats stats(layout, session.RequestPlaintext());
     for (uint64_t k = 0; k < requests; ++k) {
       const Bytes record = session.NextRequest();
-      stats.AddRequest(
-          std::span<const uint8_t>(record).subspan(kTlsRecordHeaderSize));
+      if (!stats.AddRequest(
+              std::span<const uint8_t>(record).subspan(kTlsRecordHeaderSize))) {
+        std::printf("capture error: record %llu shorter than the request\n",
+                    static_cast<unsigned long long>(k));
+        return 1;
+      }
     }
     transitions = CookieTransitionTables(stats, align1);
   } else {
-    // --- Paper-scale statistics via the validated synthetic sampler.
+    // --- Paper-scale statistics via the shared Fig. 10 simulation pipeline
+    // (src/sim/cookie_sim.h): exact Poissonized FM counts plus multi-gap
+    // ABSAB scores for the true cookie's 17 adjacent pairs.
     std::printf("sampling captured statistics for %llu requests (paper's 94%% "
                 "operating point is 9*2^27 with 2^23 attempts)...\n",
                 static_cast<unsigned long long>(requests));
-    transitions.resize(17);
-    for (size_t t = 0; t <= 16; ++t) {
-      const uint8_t p1 = t == 0 ? m1 : secret_cookie[t - 1];
-      const uint8_t p2 = t == 16 ? m_last : secret_cookie[t];
-      const uint8_t counter = PrgaCounterAtPosition(align1 + t);
-      const auto fm_table = FmDigraphTable(counter, 1 << 20);
-      const auto counts = SampleCiphertextPairCounts(fm_table, p1, p2, requests, rng);
-      transitions[t] = DoubleByteLogLikelihoodSparse(
-          counts, requests, FmSparseModel(counter, 1 << 20));
-      std::vector<double> alphas;
-      for (uint64_t g = (t <= 15 ? 15 - t : 0); g <= layout.max_gap; ++g) {
-        alphas.push_back(AbsabAlpha(g));
-      }
-      for (uint64_t g = t + 1; g <= layout.max_gap; ++g) {
-        alphas.push_back(AbsabAlpha(g));
-      }
-      const auto absab = SampleAbsabScoreTable(
-          alphas, requests, static_cast<uint16_t>(p1 << 8 | p2), rng);
-      CombineInPlace(transitions[t], absab);
-    }
+    sim::CookieSimOptions sim_options;
+    sim_options.cookie_length = secret_cookie.size();
+    sim_options.alignment = align1;
+    sim_options.max_gap = layout.max_gap;
+    sim_options.m1 = m1;
+    sim_options.m_last = m_last;
+    const sim::CookieSimContext context(sim_options);
+    transitions =
+        sim::SampleCookieTransitions(context, secret_cookie, requests, rng);
   }
 
   // --- Brute force against the server -------------------------------------

@@ -18,6 +18,7 @@
 #include "src/common/rng.h"
 #include "src/core/likelihood.h"
 #include "src/net/packet.h"
+#include "src/sim/tkip_sim.h"
 #include "src/tkip/attack.h"
 #include "src/tkip/frame.h"
 #include "src/tkip/header_recovery.h"
@@ -25,23 +26,6 @@
 #include "src/tkip/tsc_model.h"
 
 using namespace rc4b;
-
-namespace {
-
-Bytes BuildInjectedPacket() {
-  Ipv4Header ip;
-  ip.source = 0xc0a80164;       // attacker-controlled server
-  ip.destination = 0xc0a80165;  // victim
-  ip.ttl = 64;
-  TcpHeader tcp;
-  tcp.source_port = 80;
-  tcp.destination_port = 52341;
-  // 7-byte payload: puts 8 strongly-biased keystream positions under the
-  // MIC+ICV and makes the frame length unique on the air (Sect. 5.2).
-  return BuildTcpPacket(LlcSnapHeader{}, ip, tcp, FromString("7bytes!"));
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   FlagSet flags("End-to-end WPA-TKIP MIC key recovery (Sect. 5)");
@@ -59,15 +43,12 @@ int main(int argc, char** argv) {
   Xoshiro256 rng(flags.GetUint("seed"));
 
   // --- The WPA-TKIP network under attack --------------------------------
-  TkipPeer victim;
-  rng.Fill(victim.tk);
-  victim.mic_key = MichaelKey{static_cast<uint32_t>(rng()),
-                              static_cast<uint32_t>(rng())};
-  rng.Fill(victim.ta);
-  rng.Fill(victim.da);
-  rng.Fill(victim.sa);
+  const TkipPeer victim = sim::RandomPeer(rng);
 
-  const Bytes msdu = BuildInjectedPacket();
+  // Sect. 5.2's optimal injected packet (48 bytes of headers + 7-byte
+  // payload): 8 strongly-biased keystream positions under the MIC+ICV and a
+  // frame length unique on the air. Shared with the Fig. 8/9 simulations.
+  const Bytes msdu = sim::InjectedPacket();
   const Bytes true_trailer = TkipTrailer(victim, msdu);  // hidden from attacker
   const size_t first = msdu.size() + 1;
   const size_t last = msdu.size() + kTkipTrailerSize;
@@ -88,25 +69,20 @@ int main(int argc, char** argv) {
 
   // --- Phase 2: capture ---------------------------------------------------
   const uint64_t frames = flags.GetUint("frames");
+  const bool oracle = flags.GetBool("oracle");
   TkipCaptureStats stats(first, last);
-  if (flags.GetBool("oracle")) {
-    std::printf("capturing %llu retransmissions (perfect-model victim: "
-                "trailer keystream drawn from the attacker's model)...\n",
-                static_cast<unsigned long long>(frames));
-    Bytes plaintext = msdu;
-    plaintext.insert(plaintext.end(), true_trailer.begin(), true_trailer.end());
-    ModelVictimSource source(model, plaintext, /*initial_tsc=*/1,
-                             flags.GetUint("seed") + 2);
-    for (uint64_t i = 0; i < frames; ++i) {
-      stats.AddFrame(source.NextFrame());
-    }
-  } else {
-    std::printf("capturing %llu TKIP-encrypted retransmissions (real key "
-                "mixing + RC4 per packet)...\n",
-                static_cast<unsigned long long>(frames));
-    TkipInjectionSource source(victim, msdu, /*initial_tsc=*/1);
-    for (uint64_t i = 0; i < frames; ++i) {
-      stats.AddFrame(source.NextFrame());
+  std::printf(oracle ? "capturing %llu retransmissions (perfect-model victim: "
+                       "trailer keystream drawn from the attacker's model)...\n"
+                     : "capturing %llu TKIP-encrypted retransmissions (real "
+                       "key mixing + RC4 per packet)...\n",
+              static_cast<unsigned long long>(frames));
+  sim::TrailerFrameSource source(model, oracle, victim, msdu, true_trailer,
+                                 /*initial_tsc=*/1, flags.GetUint("seed") + 2);
+  for (uint64_t i = 0; i < frames; ++i) {
+    if (!stats.AddFrame(source.NextFrame())) {
+      std::printf("capture error: frame %llu shorter than the trailer range\n",
+                  static_cast<unsigned long long>(i));
+      return 1;
     }
   }
 

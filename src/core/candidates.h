@@ -42,8 +42,12 @@ class LazyCandidateEnumerator {
   explicit LazyCandidateEnumerator(const SingleByteTables& likelihoods);
 
   // Returns the next most likely candidate. Never exhausts before 256^L
-  // candidates have been returned.
+  // candidates have been returned; callers must check Exhausted() first.
   Candidate Next();
+
+  // True once all 256^L candidates have been returned: calling Next() again
+  // would be invalid.
+  bool Exhausted() const { return heap_.empty(); }
 
   uint64_t popped() const { return popped_; }
 

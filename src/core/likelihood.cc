@@ -6,10 +6,31 @@
 
 namespace rc4b {
 
+void XorCorrelate256(const double* weights, const double* log_p, double* lambda) {
+  for (size_t mu = 0; mu < 256; mu += 4) {
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (size_t c = 0; c < 256; ++c) {
+      const double w = weights[c];
+      if (w == 0.0) {
+        continue;
+      }
+      const size_t base = c ^ mu;
+      s0 += w * log_p[base];
+      s1 += w * log_p[base ^ 1];
+      s2 += w * log_p[base ^ 2];
+      s3 += w * log_p[base ^ 3];
+    }
+    lambda[mu] += s0;
+    lambda[mu + 1] += s1;
+    lambda[mu + 2] += s2;
+    lambda[mu + 3] += s3;
+  }
+}
+
 std::vector<double> LogProbabilities(std::span<const double> probabilities) {
   std::vector<double> out(probabilities.size());
   for (size_t i = 0; i < probabilities.size(); ++i) {
-    out[i] = std::log(probabilities[i]);
+    out[i] = SafeLog(probabilities[i]);
   }
   return out;
 }
@@ -17,33 +38,31 @@ std::vector<double> LogProbabilities(std::span<const double> probabilities) {
 std::vector<double> SingleByteLogLikelihood(std::span<const uint64_t> counts,
                                             std::span<const double> log_p) {
   assert(counts.size() == 256 && log_p.size() == 256);
-  std::vector<double> lambda(256, 0.0);
-  for (size_t mu = 0; mu < 256; ++mu) {
-    double sum = 0.0;
-    for (size_t c = 0; c < 256; ++c) {
-      sum += static_cast<double>(counts[c]) * log_p[c ^ mu];
-    }
-    lambda[mu] = sum;
+  double weights[256];
+  for (size_t c = 0; c < 256; ++c) {
+    weights[c] = static_cast<double>(counts[c]);
   }
+  std::vector<double> lambda(256, 0.0);
+  XorCorrelate256(weights, log_p.data(), lambda.data());
   return lambda;
 }
 
 std::vector<double> DoubleByteLogLikelihoodDense(std::span<const uint64_t> counts,
                                                  std::span<const double> log_p) {
   assert(counts.size() == 65536 && log_p.size() == 65536);
+  // Convert the counts once; the kernel then reads double rows directly.
+  std::vector<double> weights(65536);
+  for (size_t i = 0; i < 65536; ++i) {
+    weights[i] = static_cast<double>(counts[i]);
+  }
   std::vector<double> lambda(65536, 0.0);
   for (size_t mu1 = 0; mu1 < 256; ++mu1) {
-    for (size_t mu2 = 0; mu2 < 256; ++mu2) {
-      double sum = 0.0;
-      for (size_t c1 = 0; c1 < 256; ++c1) {
-        const size_t k1 = c1 ^ mu1;
-        const uint64_t* count_row = counts.data() + c1 * 256;
-        const double* logp_row = log_p.data() + k1 * 256;
-        for (size_t c2 = 0; c2 < 256; ++c2) {
-          sum += static_cast<double>(count_row[c2]) * logp_row[c2 ^ mu2];
-        }
-      }
-      lambda[mu1 * 256 + mu2] = sum;
+    double* lambda_row = lambda.data() + mu1 * 256;
+    for (size_t c1 = 0; c1 < 256; ++c1) {
+      // lambda[mu1][mu2] += sum_c2 counts[c1][c2] * log_p[c1 ^ mu1][c2 ^ mu2]:
+      // one 2 KiB x 2 KiB blocked inner product per (mu1, c1) pair.
+      XorCorrelate256(weights.data() + c1 * 256,
+                      log_p.data() + (c1 ^ mu1) * 256, lambda_row);
     }
   }
   return lambda;
@@ -53,14 +72,14 @@ std::vector<double> DoubleByteLogLikelihoodSparse(std::span<const uint64_t> coun
                                                   uint64_t total,
                                                   const SparseDigraphModel& model) {
   assert(counts.size() == 65536);
-  const double log_u = std::log(model.unbiased_probability);
+  const double log_u = SafeLog(model.unbiased_probability);
   // lambda_mu = total * log(u) + sum over biased keystream cells k of
   //   counts[k XOR mu] * (log p_k - log u),
   // since the induced keystream count for cell k under plaintext mu is the
   // ciphertext count at k XOR mu (componentwise on both bytes).
   std::vector<double> lambda(65536, static_cast<double>(total) * log_u);
   for (const auto& [cell, p] : model.biased_cells) {
-    const double delta = std::log(p) - log_u;
+    const double delta = SafeLog(p) - log_u;
     const size_t k1 = cell >> 8;
     const size_t k2 = cell & 0xff;
     for (size_t mu1 = 0; mu1 < 256; ++mu1) {
@@ -78,8 +97,8 @@ std::vector<double> DoubleByteLogLikelihoodSparse(std::span<const uint64_t> coun
 std::vector<double> AbsabLogLikelihood(std::span<const uint64_t> diff_counts,
                                        uint64_t total, uint16_t known, double alpha) {
   assert(diff_counts.size() == 65536);
-  const double log_alpha = std::log(alpha);
-  const double log_other = std::log((1.0 - alpha) / 65535.0);
+  const double log_alpha = SafeLog(alpha);
+  const double log_other = SafeLog((1.0 - alpha) / 65535.0);
   // Formula (22) in log form, with the uniform-cell part absorbed:
   //   log lambda_dhat = N_dhat * log(alpha) + (total - N_dhat) * log_other
   // and formula (24): the table over (mu1, mu2) reads the differential
@@ -107,6 +126,9 @@ void CombineInPlace(std::span<double> accumulator, std::span<const double> other
 }
 
 size_t ArgMax(std::span<const double> table) {
+  if (table.empty()) {
+    return 0;
+  }
   return static_cast<size_t>(
       std::max_element(table.begin(), table.end()) - table.begin());
 }

@@ -10,6 +10,7 @@
 #ifndef SRC_CORE_LIKELIHOOD_H_
 #define SRC_CORE_LIKELIHOOD_H_
 
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -18,7 +19,29 @@
 
 namespace rc4b {
 
-// Elementwise log() of a probability vector (any size).
+// Floor applied to probabilities before taking logs. A zero-probability cell
+// would yield log(0) = -inf, and a zero count times -inf is NaN — which
+// silently poisons every lambda it is summed into. The floor plays the same
+// role as the +1 Laplace smoothing used when models are estimated from
+// counts (src/tkip/tsc_model.cc): it is far below any smoothed probability
+// (1 / (N + 256) ≈ 4e-6 even at N = 2^18 keys), so estimated models are
+// unaffected and only genuinely degenerate cells are clamped.
+inline constexpr double kMinProbability = 1e-12;
+
+// log(max(p, kMinProbability)): finite for every p >= 0.
+inline double SafeLog(double p) {
+  return std::log(p < kMinProbability ? kMinProbability : p);
+}
+
+// Blocked XOR-correlation kernel shared by the likelihood hot loops:
+//   lambda[mu] += sum_c weights[c] * log_p[c XOR mu]   for all mu in 0..255.
+// All three 256-double rows are L1-resident; the kernel unrolls mu four wide
+// (each mu keeps its own accumulator, summed in ascending-c order, so results
+// are bit-identical to the naive loop) and skips zero-weight cells, which
+// also keeps a -inf in log_p from turning 0 * -inf into NaN.
+void XorCorrelate256(const double* weights, const double* log_p, double* lambda);
+
+// Elementwise SafeLog() of a probability vector (any size).
 std::vector<double> LogProbabilities(std::span<const double> probabilities);
 
 // Single-byte likelihood, formula (11)/(12):
@@ -30,6 +53,8 @@ std::vector<double> SingleByteLogLikelihood(std::span<const uint64_t> counts,
 
 // Dense double-byte likelihood, formula (13): counts and log_p are 65536-cell
 // tables indexed c1 * 256 + c2 / k1 * 256 + k2. O(2^32); used for validation.
+// Evaluated as 2^16 blocked XorCorrelate256 calls over (mu1, c1) pairs so
+// every inner product runs on L1-resident rows.
 std::vector<double> DoubleByteLogLikelihoodDense(std::span<const uint64_t> counts,
                                                  std::span<const double> log_p);
 
@@ -52,7 +77,7 @@ std::vector<double> AbsabLogLikelihood(std::span<const uint64_t> diff_counts,
 // tables — formula (25). Tables must have equal size.
 void CombineInPlace(std::span<double> accumulator, std::span<const double> other);
 
-// argmax index of a table.
+// argmax index of a table; 0 for an empty table.
 size_t ArgMax(std::span<const double> table);
 
 }  // namespace rc4b

@@ -1,31 +1,42 @@
 #include "src/tkip/attack.h"
 
-#include <cassert>
+#include <cstdio>
 #include <cstring>
 
+#include "src/core/likelihood.h"
 #include "src/crypto/crc32.h"
 
 namespace rc4b {
 
 SingleByteTables TkipTrailerLikelihoods(const TkipCaptureStats& stats,
                                         const TkipTscModel& model) {
-  assert(stats.first_position() == model.first_position() &&
-         stats.last_position() == model.last_position());
+  // Load-bearing validation: a mismatched position range would index rows out
+  // of bounds below, so it must hold in Release builds too. Loud, because an
+  // empty result downstream looks like a legitimately failed attack.
+  if (stats.first_position() != model.first_position() ||
+      stats.last_position() != model.last_position()) {
+    std::fprintf(stderr,
+                 "TkipTrailerLikelihoods: stats positions [%zu, %zu] do not "
+                 "match model positions [%zu, %zu]; returning empty tables\n",
+                 stats.first_position(), stats.last_position(),
+                 model.first_position(), model.last_position());
+    return {};
+  }
   const size_t positions = stats.position_count();
   SingleByteTables tables(positions, std::vector<double>(256, 0.0));
+  double weights[256];
   for (size_t tsc1 = 0; tsc1 < 256; ++tsc1) {
     for (size_t p = 0; p < positions; ++p) {
       const size_t pos = stats.first_position() + p;
       const uint64_t* counts = stats.Row(static_cast<uint8_t>(tsc1), pos);
-      const double* log_p = model.LogRow(static_cast<uint8_t>(tsc1), pos);
-      double* lambda = tables[p].data();
-      for (size_t mu = 0; mu < 256; ++mu) {
-        double sum = 0.0;
-        for (size_t c = 0; c < 256; ++c) {
-          sum += static_cast<double>(counts[c]) * log_p[c ^ mu];
-        }
-        lambda[mu] += sum;
+      for (size_t c = 0; c < 256; ++c) {
+        weights[c] = static_cast<double>(counts[c]);
       }
+      // lambda_pos[mu] += sum_c counts[c] * log_p[c ^ mu], one blocked
+      // XOR-correlation per (tsc1, position) row — the per-checkpoint hot
+      // loop of the TKIP simulations.
+      XorCorrelate256(weights, model.LogRow(static_cast<uint8_t>(tsc1), pos),
+                      tables[p].data());
     }
   }
   return tables;
@@ -33,7 +44,9 @@ SingleByteTables TkipTrailerLikelihoods(const TkipCaptureStats& stats,
 
 bool TkipTrailerConsistent(std::span<const uint8_t> msdu,
                            std::span<const uint8_t> trailer) {
-  assert(trailer.size() == kTkipTrailerSize);
+  if (trailer.size() != kTkipTrailerSize) {
+    return false;
+  }
   uint32_t state = Crc32Init();
   state = Crc32Update(state, msdu);
   state = Crc32Update(state, trailer.subspan(0, 8));
@@ -46,8 +59,10 @@ TkipAttackResult RecoverTkipTrailer(std::span<const uint8_t> known_msdu,
                                     uint64_t max_candidates,
                                     std::span<const uint8_t> true_trailer,
                                     const TkipPeer& peer) {
-  assert(likelihoods.size() == kTkipTrailerSize);
   TkipAttackResult result;
+  if (likelihoods.size() != kTkipTrailerSize) {
+    return result;
+  }
 
   // Precompute the CRC state over the fixed MSDU once; each candidate only
   // folds in its 8 MIC bytes.
@@ -55,15 +70,15 @@ TkipAttackResult RecoverTkipTrailer(std::span<const uint8_t> known_msdu,
   msdu_state = Crc32Update(msdu_state, known_msdu);
 
   LazyCandidateEnumerator enumerator(likelihoods);
-  for (uint64_t n = 0; n < max_candidates; ++n) {
+  for (uint64_t n = 0; n < max_candidates && !enumerator.Exhausted(); ++n) {
     const Candidate candidate = enumerator.Next();
+    result.candidates_tried = n + 1;
     const std::span<const uint8_t> trailer(candidate.plaintext);
     const uint32_t crc = Crc32Final(Crc32Update(msdu_state, trailer.subspan(0, 8)));
     if (crc != LoadLe32(trailer.data() + 8)) {
       continue;
     }
     result.found = true;
-    result.candidates_tried = n + 1;
     result.trailer = candidate.plaintext;
     result.correct = !true_trailer.empty() &&
                      true_trailer.size() == trailer.size() &&

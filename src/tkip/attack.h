@@ -26,23 +26,28 @@ namespace rc4b {
 // Per-position log-likelihood tables for the unknown trailer bytes, computed
 // from captured ciphertext statistics and the attacker's per-TSC1 model:
 //   lambda_pos(mu) = sum_tsc1 sum_c counts[tsc1][pos][c] * log p[tsc1][pos][c ^ mu].
-// Positions covered: [stats.first_position(), stats.last_position()].
+// Positions covered: [stats.first_position(), stats.last_position()]. The
+// stats and model position ranges must match; on a mismatch the function
+// returns empty tables instead of reading out of bounds.
 SingleByteTables TkipTrailerLikelihoods(const TkipCaptureStats& stats,
                                         const TkipTscModel& model);
 
 struct TkipAttackResult {
   bool found = false;            // a candidate with a consistent ICV was found
   bool correct = false;          // ... and it equals the true trailer
-  uint64_t candidates_tried = 0; // 1-based position of the accepted candidate
+  // Candidates drawn from the enumerator: the accepted candidate's 1-based
+  // position on success, or the total number tried on failure.
+  uint64_t candidates_tried = 0;
   Bytes trailer;                 // recovered MIC || ICV
   MichaelKey mic_key;            // derived from the recovered MIC
 };
 
 // Runs the candidate traversal. `known_msdu` is the plaintext MSDU (headers +
 // payload, assumed known per Sect. 5.3), `likelihoods` are the 12 trailer
-// tables, `max_candidates` bounds the traversal (paper: ~2^30).
-// `true_trailer` (optional, for evaluation) marks whether the accepted
-// candidate is actually correct.
+// tables (anything else returns an empty result), `max_candidates` bounds the
+// traversal (paper: ~2^30); it also stops early if the enumerator exhausts
+// the candidate space. `true_trailer` (optional, for evaluation) marks
+// whether the accepted candidate is actually correct.
 TkipAttackResult RecoverTkipTrailer(std::span<const uint8_t> known_msdu,
                                     const SingleByteTables& likelihoods,
                                     uint64_t max_candidates,
@@ -51,7 +56,7 @@ TkipAttackResult RecoverTkipTrailer(std::span<const uint8_t> known_msdu,
 
 // True iff `trailer` (MIC || ICV) is internally consistent with `msdu`:
 // CRC-32(msdu || mic) == icv. This is the pruning predicate; it does not need
-// any key material.
+// any key material. A trailer of the wrong size is never consistent.
 bool TkipTrailerConsistent(std::span<const uint8_t> msdu,
                            std::span<const uint8_t> trailer);
 

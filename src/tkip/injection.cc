@@ -71,8 +71,12 @@ TkipCaptureStats::TkipCaptureStats(size_t first_position, size_t last_position)
   counts_.assign(256 * position_count() * 256, 0);
 }
 
-void TkipCaptureStats::AddFrame(const TkipFrame& frame) {
-  assert(frame.ciphertext.size() >= last_position_);
+bool TkipCaptureStats::AddFrame(const TkipFrame& frame) {
+  // Positions up to last_position_ are read below; reject short frames
+  // instead of reading out of bounds in Release builds.
+  if (frame.ciphertext.size() < last_position_) {
+    return false;
+  }
   const uint8_t tsc1 = static_cast<uint8_t>(frame.tsc >> 8);
   uint64_t* base =
       counts_.data() + static_cast<size_t>(tsc1) * position_count() * 256;
@@ -80,6 +84,7 @@ void TkipCaptureStats::AddFrame(const TkipFrame& frame) {
     base[(pos - first_position_) * 256 + frame.ciphertext[pos - 1]] += 1;
   }
   ++frames_;
+  return true;
 }
 
 void TkipCaptureStats::Merge(const TkipCaptureStats& other) {

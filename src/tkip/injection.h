@@ -31,7 +31,9 @@ class TkipCaptureStats {
   size_t position_count() const { return last_position_ - first_position_ + 1; }
   uint64_t frames() const { return frames_; }
 
-  void AddFrame(const TkipFrame& frame);
+  // Returns false — and records nothing — if the frame's ciphertext does not
+  // cover last_position().
+  bool AddFrame(const TkipFrame& frame);
 
   const uint64_t* Row(uint8_t tsc1, size_t pos) const {
     return counts_.data() + (static_cast<size_t>(tsc1) * position_count() +

@@ -7,6 +7,7 @@
 #include "src/common/io.h"
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
+#include "src/core/likelihood.h"
 #include "src/rc4/rc4.h"
 #include "src/tkip/key_mixing.h"
 
@@ -67,7 +68,7 @@ void TkipTscModel::ShrinkTowardUniform(double factor) {
   constexpr double kUniform = 1.0 / 256.0;
   for (double& lp : log_p_) {
     const double p = kUniform + factor * (std::exp(lp) - kUniform);
-    lp = std::log(p);
+    lp = SafeLog(p);
   }
 }
 
@@ -122,8 +123,10 @@ void TkipTscModel::SetRow(uint8_t tsc1, size_t pos,
   double* row = log_p_.data() + (static_cast<size_t>(tsc1) * position_count() +
                                  (pos - first_position_)) *
                                     256;
+  // SafeLog keeps zero-probability cells finite — a -inf here would turn a
+  // zero count into NaN in the likelihood layer (src/core/likelihood.h).
   for (size_t v = 0; v < 256; ++v) {
-    row[v] = std::log(probabilities[v]);
+    row[v] = SafeLog(probabilities[v]);
   }
 }
 

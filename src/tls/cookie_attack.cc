@@ -1,6 +1,7 @@
 #include "src/tls/cookie_attack.h"
 
 #include <cassert>
+#include <cstdio>
 
 #include "src/biases/fluhrer_mcgrew.h"
 #include "src/biases/mantin.h"
@@ -25,9 +26,21 @@ bool PairKnown(size_t pos, const CookieAttackLayout& layout) {
 CookieCaptureStats::CookieCaptureStats(const CookieAttackLayout& layout,
                                        Bytes known_plaintext)
     : layout_(layout), known_plaintext_(std::move(known_plaintext)) {
-  assert(known_plaintext_.size() == layout_.request_size);
-  assert(layout_.cookie_offset >= 1);
-  assert(layout_.cookie_offset + layout_.cookie_length < layout_.request_size);
+  // Release-build validation: AddRequest indexes up to cookie_offset +
+  // cookie_length, so a layout violating these bounds must disable the
+  // object rather than read out of bounds later.
+  valid_ = known_plaintext_.size() == layout_.request_size &&
+           layout_.cookie_offset >= 1 &&
+           layout_.cookie_offset + layout_.cookie_length < layout_.request_size;
+  assert(valid_);
+  if (!valid_) {
+    std::fprintf(stderr,
+                 "CookieCaptureStats: invalid layout (offset %zu, length %zu, "
+                 "request %zu, plaintext %zu); all requests will be rejected\n",
+                 layout_.cookie_offset, layout_.cookie_length,
+                 layout_.request_size, known_plaintext_.size());
+    return;
+  }
 
   const size_t pairs = pair_count();
   fm_counts_.assign(pairs, std::vector<uint64_t>(65536, 0));
@@ -59,8 +72,13 @@ CookieCaptureStats::CookieCaptureStats(const CookieAttackLayout& layout,
   }
 }
 
-void CookieCaptureStats::AddRequest(std::span<const uint8_t> ciphertext) {
-  assert(ciphertext.size() >= layout_.request_size);
+bool CookieCaptureStats::AddRequest(std::span<const uint8_t> ciphertext) {
+  // Load-bearing validation: with a valid layout, every position indexed
+  // below is < request_size, so a short ciphertext (or an invalid layout)
+  // would read out of bounds in Release builds.
+  if (!valid_ || ciphertext.size() < layout_.request_size) {
+    return false;
+  }
   ++requests_;
   for (size_t t = 0; t < pair_count(); ++t) {
     const size_t pos = layout_.cookie_offset - 1 + t;
@@ -77,6 +95,7 @@ void CookieCaptureStats::AddRequest(std::span<const uint8_t> ciphertext) {
       absab_scores_[t][diff ^ ref.known_pair] += ref.log_odds;
     }
   }
+  return true;
 }
 
 DoubleByteTables CookieTransitionTables(const CookieCaptureStats& stats,

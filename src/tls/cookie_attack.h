@@ -34,13 +34,17 @@ struct CookieAttackLayout {
 class CookieCaptureStats {
  public:
   // `known_plaintext` is the full aligned request with the cookie bytes
-  // ignored (they are excluded from the known-pair sets automatically).
+  // ignored (they are excluded from the known-pair sets automatically). The
+  // layout must satisfy 1 <= cookie_offset and cookie_offset + cookie_length
+  // < request_size == |known_plaintext|; otherwise the object is disabled
+  // and AddRequest rejects everything.
   CookieCaptureStats(const CookieAttackLayout& layout, Bytes known_plaintext);
 
   // Adds one captured request's ciphertext (request_size bytes, RC4 layer
   // only — the caller strips the TLS record header and any preceding MAC
-  // bytes belong to the previous request's stride).
-  void AddRequest(std::span<const uint8_t> ciphertext);
+  // bytes belong to the previous request's stride). Returns false — and
+  // records nothing — if the ciphertext is shorter than request_size.
+  bool AddRequest(std::span<const uint8_t> ciphertext);
 
   uint64_t requests() const { return requests_; }
   size_t pair_count() const { return layout_.cookie_length + 1; }
@@ -63,6 +67,7 @@ class CookieCaptureStats {
 
   CookieAttackLayout layout_;
   Bytes known_plaintext_;
+  bool valid_ = false;
   uint64_t requests_ = 0;
   std::vector<std::vector<uint64_t>> fm_counts_;    // [pair][c1*256+c2]
   std::vector<std::vector<double>> absab_scores_;   // [pair][mu1*256+mu2]

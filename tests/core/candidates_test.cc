@@ -131,6 +131,16 @@ TEST(LazyEnumeratorTest, EmitsEveryCandidateExactlyOnceOnTinySpace) {
   EXPECT_EQ(seen.size(), 65536u);
 }
 
+TEST(LazyEnumeratorTest, ReportsExhaustionAfterFullSpace) {
+  const auto tables = RandomTables(1, 8);
+  LazyCandidateEnumerator enumerator(tables);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_FALSE(enumerator.Exhausted()) << "i=" << i;
+    enumerator.Next();
+  }
+  EXPECT_TRUE(enumerator.Exhausted());
+}
+
 DoubleByteTables RandomTransitions(size_t count, uint64_t seed) {
   Xoshiro256 rng(seed);
   DoubleByteTables tables(count, std::vector<double>(65536));

@@ -114,6 +114,82 @@ TEST(LikelihoodTest, AbsabLikelihoodPeaksAtTruth) {
   EXPECT_EQ(ArgMax(lambda), truth);
 }
 
+TEST(LikelihoodTest, ZeroProbabilityCellsDoNotPoisonTables) {
+  // Regression: a zero-probability cell used to produce log(0) = -inf, and a
+  // zero count times -inf is NaN — silently corrupting the whole lambda
+  // table. SafeLog floors the probability, so every lambda stays finite and
+  // the argmax still lands on the truth.
+  std::vector<double> p(256, 1.0 / 254.0);
+  p[0] = 0.0;  // degenerate cell
+  p[1] = 0.0;
+  const auto log_p = LogProbabilities(p);
+  for (double lp : log_p) {
+    EXPECT_TRUE(std::isfinite(lp));
+  }
+
+  // Sparse counts: most cells zero, including ones that map onto the
+  // degenerate keystream cells for most candidate mu.
+  std::vector<uint64_t> counts(256, 0);
+  const uint8_t truth = 0x5a;
+  counts[2 ^ truth] = 1000;  // keystream 2 is a live cell
+  counts[3 ^ truth] = 990;
+  const auto lambda = SingleByteLogLikelihood(counts, log_p);
+  for (double value : lambda) {
+    EXPECT_TRUE(std::isfinite(value));
+  }
+
+  // Same property for the sparse double-byte path with a degenerate biased
+  // cell and for the ABSAB table at alpha edge cases.
+  SparseDigraphModel model;
+  model.unbiased_probability = 1.0 / 65536.0;
+  model.biased_cells = {{0x0100, 0.0}, {0x0200, 2.0 / 65536.0}};
+  std::vector<uint64_t> pair_counts(65536, 0);
+  pair_counts[42] = 17;
+  const auto sparse = DoubleByteLogLikelihoodSparse(pair_counts, 17, model);
+  for (size_t mu = 0; mu < 65536; mu += 97) {
+    EXPECT_TRUE(std::isfinite(sparse[mu])) << "mu=" << mu;
+  }
+}
+
+TEST(LikelihoodTest, DenseDoubleByteMatchesNaiveReference) {
+  // The blocked XorCorrelate256 kernel must agree with the textbook
+  // formula (13) loop.
+  Xoshiro256 rng(6);
+  std::vector<uint64_t> counts(65536);
+  for (auto& c : counts) {
+    c = rng() & 0x7;  // sparse-ish, exercises the zero-weight skip
+  }
+  std::vector<double> p(65536);
+  double sum = 0.0;
+  for (auto& value : p) {
+    value = rng.UnitDouble() + 0.01;
+    sum += value;
+  }
+  for (auto& value : p) {
+    value /= sum;
+  }
+  const auto log_p = LogProbabilities(p);
+
+  const auto lambda = DoubleByteLogLikelihoodDense(counts, log_p);
+  for (size_t mu = 0; mu < 65536; mu += 4099) {
+    const size_t mu1 = mu >> 8, mu2 = mu & 0xff;
+    double expected = 0.0;
+    for (size_t c1 = 0; c1 < 256; ++c1) {
+      for (size_t c2 = 0; c2 < 256; ++c2) {
+        expected += static_cast<double>(counts[c1 * 256 + c2]) *
+                    log_p[(c1 ^ mu1) * 256 + (c2 ^ mu2)];
+      }
+    }
+    EXPECT_NEAR(lambda[mu], expected, 1e-6 * std::abs(expected)) << "mu=" << mu;
+  }
+}
+
+TEST(LikelihoodTest, ArgMaxIsSafeOnEmptySpan) {
+  EXPECT_EQ(ArgMax(std::span<const double>()), 0u);
+  const std::vector<double> one = {3.5};
+  EXPECT_EQ(ArgMax(one), 0u);
+}
+
 TEST(LikelihoodTest, CombineAddsTables) {
   std::vector<double> a = {1.0, 2.0, 3.0};
   const std::vector<double> b = {0.5, -2.0, 10.0};

@@ -107,6 +107,39 @@ TEST(TkipAttackTest, GivesUpWithinBudget) {
   const auto result = RecoverTkipTrailer(msdu, tables, 512, trailer, peer);
   EXPECT_FALSE(result.found);
   EXPECT_FALSE(result.correct);
+  // Regression: a failed traversal must report how many candidates it
+  // actually tried, not 0.
+  EXPECT_EQ(result.candidates_tried, 512u);
+}
+
+TEST(TkipAttackTest, RejectsWrongTableCount) {
+  const TkipPeer peer = TestPeer(6);
+  const Bytes msdu = InjectedPacket();
+  const Bytes trailer = TkipTrailer(peer, msdu);
+  const SingleByteTables short_tables(3, std::vector<double>(256, 0.0));
+  const auto result = RecoverTkipTrailer(msdu, short_tables, 16, trailer, peer);
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.candidates_tried, 0u);
+}
+
+TEST(TkipAttackTest, LikelihoodsRejectMismatchedPositionRanges) {
+  // Regression: a stats/model position mismatch used to be assert-only and
+  // read out of bounds in Release builds; it must now return empty tables.
+  TkipCaptureStats stats(10, 21);
+  TkipTscModel model(11, 22);
+  EXPECT_TRUE(TkipTrailerLikelihoods(stats, model).empty());
+}
+
+TEST(TkipAttackTest, CaptureStatsRejectShortFrames) {
+  TkipCaptureStats stats(10, 21);
+  TkipFrame frame;
+  frame.tsc = 0x1234;
+  frame.ciphertext.assign(20, 0);  // one byte short of last_position
+  EXPECT_FALSE(stats.AddFrame(frame));
+  EXPECT_EQ(stats.frames(), 0u);
+  frame.ciphertext.assign(21, 0);
+  EXPECT_TRUE(stats.AddFrame(frame));
+  EXPECT_EQ(stats.frames(), 1u);
 }
 
 TEST(TkipAttackTest, LikelihoodsRecoverTruthUnderOracleModel) {

@@ -41,6 +41,19 @@ TEST(CookieStatsTest, PairCountAndRequestCounting) {
   EXPECT_EQ(stats.requests(), 1u);
 }
 
+TEST(CookieStatsTest, AddRequestRejectsShortCiphertext) {
+  // Regression: a short ciphertext used to be assert-only and read out of
+  // bounds in Release builds; it must now be rejected without recording.
+  const auto layout = TestLayout(100);
+  CookieCaptureStats stats(layout, KnownRequest(100));
+  const Bytes short_ciphertext(layout.request_size - 1, 0);
+  EXPECT_FALSE(stats.AddRequest(short_ciphertext));
+  EXPECT_EQ(stats.requests(), 0u);
+  const Bytes exact(layout.request_size, 0);
+  EXPECT_TRUE(stats.AddRequest(exact));
+  EXPECT_EQ(stats.requests(), 1u);
+}
+
 TEST(CookieStatsTest, FmCountsAccumulateCiphertextPairs) {
   const auto layout = TestLayout(100);
   CookieCaptureStats stats(layout, KnownRequest(100));
