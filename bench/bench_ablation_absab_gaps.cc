@@ -20,17 +20,20 @@ namespace rc4b {
 namespace {
 
 int Run(int argc, char** argv) {
+  const ScaleFlagSpec scale{.count_flag = "sims",
+                            .count_default = "192",
+                            .count_help = "simulations per configuration",
+                            .seed_default = "21"};
   FlagSet flags("Ablation: recovery rate vs number of ABSAB estimates combined");
-  flags.Define("sims", "192", "simulations per configuration")
+  DefineScaleFlags(flags, scale)
       .Define("ciphertexts-log2", "32", "log2 of the ciphertext count")
-      .Define("counter", "17", "PRGA counter of the target digraph")
-      .Define("workers", "0", "worker threads")
-      .Define("seed", "21", "simulation seed");
+      .Define("counter", "17", "PRGA counter of the target digraph");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
 
-  const int sims = static_cast<int>(flags.GetInt("sims"));
+  const ScaleFlagValues scale_values = GetScaleFlags(flags, scale);
+  const int sims = static_cast<int>(scale_values.count);
   const uint64_t trials = uint64_t{1} << flags.GetUint("ciphertexts-log2");
   const uint8_t counter = static_cast<uint8_t>(flags.GetUint("counter"));
 
@@ -53,10 +56,10 @@ int Run(int argc, char** argv) {
     }
     std::mutex mutex;
     int absab_wins = 0, combined_wins = 0;
-    ParallelChunks(sims, static_cast<unsigned>(flags.GetUint("workers")),
+    ParallelChunks(sims, scale_values.workers,
                    [&](unsigned, uint64_t begin, uint64_t end) {
       for (uint64_t s = begin; s < end; ++s) {
-        Xoshiro256 rng(flags.GetUint("seed") * 31337 + budget * 997 + s);
+        Xoshiro256 rng(scale_values.seed * 31337 + budget * 997 + s);
         const uint8_t p1 = rng.Byte(), p2 = rng.Byte();
         const size_t truth = static_cast<size_t>(p1) * 256 + p2;
         const auto counts =

@@ -22,17 +22,20 @@ namespace rc4b {
 namespace {
 
 int Run(int argc, char** argv) {
+  const ScaleFlagSpec scale{.count_flag = "sims",
+                            .count_default = "24",
+                            .count_help = "simulations per point",
+                            .seed_default = "22"};
   FlagSet flags("Ablation: cookie alphabet restriction (Sect. 6.2)");
-  flags.Define("sims", "24", "simulations per point")
+  DefineScaleFlags(flags, scale)
       .Define("attempts-log2", "23", "log2 of the brute-force budget")
-      .Define("alignment", "48", "cookie keystream alignment")
-      .Define("workers", "0", "worker threads")
-      .Define("seed", "22", "simulation seed");
+      .Define("alignment", "48", "cookie keystream alignment");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
 
-  const int sims = static_cast<int>(flags.GetInt("sims"));
+  const ScaleFlagValues scale_values = GetScaleFlags(flags, scale);
+  const int sims = static_cast<int>(scale_values.count);
   const double budget = std::exp2(static_cast<double>(flags.GetInt("attempts-log2")));
   const size_t alignment = flags.GetUint("alignment");
   const size_t cookie_len = 16;
@@ -54,10 +57,10 @@ int Run(int argc, char** argv) {
     const uint64_t trials = copies << 27;
     int wins64 = 0, wins256 = 0;
     std::mutex mutex;
-    ParallelChunks(sims, static_cast<unsigned>(flags.GetUint("workers")),
+    ParallelChunks(sims, scale_values.workers,
                    [&](unsigned, uint64_t begin, uint64_t end) {
       for (uint64_t s = begin; s < end; ++s) {
-        Xoshiro256 rng(flags.GetUint("seed") * 7717 + copies * 131 + s);
+        Xoshiro256 rng(scale_values.seed * 7717 + copies * 131 + s);
         Bytes truth(cookie_len);
         for (auto& b : truth) {
           b = alphabet64[rng.Below(alphabet64.size())];

@@ -13,21 +13,25 @@ namespace rc4b {
 namespace {
 
 int Run(int argc, char** argv) {
+  const ScaleFlagSpec scale{.count_flag = "keys",
+                            .count_default = "24",
+                            .count_help = "RC4 keys (one long keystream each)",
+                            .seed_default = "9",
+                            .seed_help = "dataset seed"};
   FlagSet flags("ABSAB bias strength vs gap size (Sect. 4.2 / formula 1)");
-  flags.Define("max-gap", "32", "largest gap measured (paper: 135)")
-      .Define("keys", "24", "RC4 keys (one long keystream each)")
-      .Define("bytes-per-key", "0x40000000", "keystream bytes per key (2^30)")
-      .Define("workers", "0", "worker threads")
-      .Define("seed", "9", "dataset seed");
+  DefineScaleFlags(flags, scale)
+      .Define("max-gap", "32", "largest gap measured (paper: 135)")
+      .Define("bytes-per-key", "0x40000000", "keystream bytes per key (2^30)");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
 
+  const auto [keys, workers, seed] = GetScaleFlags(flags, scale);
   LongTermOptions options;
-  options.keys = flags.GetUint("keys");
+  options.keys = keys;
   options.bytes_per_key = flags.GetUint("bytes-per-key");
-  options.workers = static_cast<unsigned>(flags.GetUint("workers"));
-  options.seed = flags.GetUint("seed");
+  options.workers = workers;
+  options.seed = seed;
   const uint64_t max_gap = flags.GetUint("max-gap");
 
   bench::PrintHeader(

@@ -54,21 +54,24 @@ void RunMode(const char* mode, uint64_t keys, uint64_t seed, unsigned threads,
 }
 
 int Run(int argc, char** argv) {
+  const ScaleFlagSpec scale{
+      .count_flag = "keys",
+      .count_default = "0x80000",
+      .count_help = "RC4 keys per run (2^19)",
+      .workers_flag = "threads",
+      .workers_help = "shard count for the parallel run (0 = all cores)",
+      .seed_default = "42",
+      .seed_help = "engine seed"};
   FlagSet flags("Sharded keystream-statistics engine throughput");
-  flags.Define("keys", "0x80000", "RC4 keys per run (2^19)")
-      .Define("positions", "256", "keystream positions per key")
-      .Define("threads", "0", "shard count for the parallel run (0 = all cores)")
-      .Define("seed", "42", "engine seed");
+  DefineScaleFlags(flags, scale)
+      .Define("positions", "256", "keystream positions per key");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
-  const uint64_t keys = flags.GetUint("keys");
+  const auto [keys, parsed_threads, seed] = GetScaleFlags(flags, scale);
   const size_t positions = static_cast<size_t>(flags.GetUint("positions"));
-  const uint64_t seed = flags.GetUint("seed");
-  unsigned threads = static_cast<unsigned>(flags.GetUint("threads"));
-  if (threads == 0) {
-    threads = DefaultWorkerCount();
-  }
+  const unsigned threads =
+      parsed_threads != 0 ? parsed_threads : DefaultWorkerCount();
 
   bench::PrintHeader(
       "bench_engine_sharded",

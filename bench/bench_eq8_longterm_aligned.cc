@@ -12,20 +12,24 @@ namespace rc4b {
 namespace {
 
 int Run(int argc, char** argv) {
+  const ScaleFlagSpec scale{.count_flag = "keys",
+                            .count_default = "256",
+                            .count_help = "RC4 keys (one long keystream each)",
+                            .seed_default = "8",
+                            .seed_help = "dataset seed"};
   FlagSet flags("Eq. (8): (Z_256w, Z_256w+2) biased toward (0,0) and (128,0)");
-  flags.Define("keys", "256", "RC4 keys (one long keystream each)")
-      .Define("bytes-per-key", "0x2000000", "keystream bytes per key (2^25)")
-      .Define("workers", "0", "worker threads")
-      .Define("seed", "8", "dataset seed");
+  DefineScaleFlags(flags, scale)
+      .Define("bytes-per-key", "0x2000000", "keystream bytes per key (2^25)");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
 
+  const auto [keys, workers, seed] = GetScaleFlags(flags, scale);
   LongTermOptions options;
-  options.keys = flags.GetUint("keys");
+  options.keys = keys;
   options.bytes_per_key = flags.GetUint("bytes-per-key");
-  options.workers = static_cast<unsigned>(flags.GetUint("workers"));
-  options.seed = flags.GetUint("seed");
+  options.workers = workers;
+  options.seed = seed;
 
   const double samples = static_cast<double>(options.keys) *
                          static_cast<double>(options.bytes_per_key / 256);

@@ -21,18 +21,21 @@ namespace rc4b {
 namespace {
 
 int Run(int argc, char** argv) {
+  const ScaleFlagSpec scale{.count_flag = "sims",
+                            .count_default = "48",
+                            .count_help = "simulations per point (paper: 256)",
+                            .seed_default = "15"};
   FlagSet flags("Fig. 10: cookie brute-force success vs ciphertexts x 2^27");
-  flags.Define("sims", "48", "simulations per point (paper: 256)")
+  DefineScaleFlags(flags, scale)
       .Define("max-copies", "15", "largest checkpoint in units of 2^27")
       .Define("step", "2", "checkpoint step in units of 2^27")
       .Define("attempts-log2", "23", "log2 of the brute-force budget")
       .Define("alignment", "48", "cookie keystream position mod 256")
-      .Define("max-gap", "128", "largest ABSAB gap used")
-      .Define("workers", "0", "worker threads")
-      .Define("seed", "15", "simulation seed");
+      .Define("max-gap", "128", "largest ABSAB gap used");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
+  const ScaleFlagValues scale_values = GetScaleFlags(flags, scale);
 
   bench::PrintHeader(
       "bench_fig10_cookie_bruteforce",
@@ -45,9 +48,9 @@ int Run(int argc, char** argv) {
   options.max_gap = flags.GetUint("max-gap");
   options.attempt_budget =
       std::exp2(static_cast<double>(flags.GetInt("attempts-log2")));
-  options.trials = flags.GetUint("sims");
-  options.workers = static_cast<unsigned>(flags.GetUint("workers"));
-  options.seed = flags.GetUint("seed");
+  options.trials = scale_values.count;
+  options.workers = scale_values.workers;
+  options.seed = scale_values.seed;
   const sim::CookieSimContext context(options);
 
   std::printf("%-16s %16s %16s\n", "copies (x2^27)", "2^23 attempts",

@@ -25,22 +25,26 @@ struct Family {
 };
 
 int Run(int argc, char** argv) {
+  const ScaleFlagSpec scale{.count_flag = "keys",
+                            .count_default = "0x10000000",
+                            .count_help = "RC4 keys (2^28; paper used 2^45)",
+                            .seed_default = "4",
+                            .seed_help = "dataset seed"};
   FlagSet flags("Fig. 4: FM digraph relative biases in initial keystream bytes");
-  flags.Define("keys", "0x10000000", "RC4 keys (2^28; paper used 2^45)")
+  DefineScaleFlags(flags, scale)
       .Define("positions", "288", "initial positions to cover")
-      .Define("window", "32", "positions averaged per reported point")
-      .Define("workers", "0", "worker threads")
-      .Define("seed", "4", "dataset seed");
+      .Define("window", "32", "positions averaged per reported point");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
 
   const size_t positions = flags.GetUint("positions");
   const size_t window = flags.GetUint("window");
+  const auto [keys, workers, seed] = GetScaleFlags(flags, scale);
   DatasetOptions options;
-  options.keys = flags.GetUint("keys");
-  options.workers = static_cast<unsigned>(flags.GetUint("workers"));
-  options.seed = flags.GetUint("seed");
+  options.keys = keys;
+  options.workers = workers;
+  options.seed = seed;
 
   bench::PrintHeader("bench_fig4_fm_shortterm",
                      "Fig. 4 (FM digraphs vs expected single-byte probability)",

@@ -14,22 +14,26 @@ namespace rc4b {
 namespace {
 
 int Run(int argc, char** argv) {
+  const ScaleFlagSpec scale{.count_flag = "keys",
+                            .count_default = "0x20000000",
+                            .count_help = "RC4 keys (2^29; paper used 2^44)",
+                            .seed_default = "5",
+                            .seed_help = "dataset seed"};
   FlagSet flags("Fig. 5: biases induced by the first two keystream bytes");
-  flags.Define("keys", "0x20000000", "RC4 keys (2^29; paper used 2^44)")
+  DefineScaleFlags(flags, scale)
       .Define("max-position", "256", "largest i for (Z1, Zi)/(Z2, Zi)")
-      .Define("window", "32", "positions per reported band")
-      .Define("workers", "0", "worker threads")
-      .Define("seed", "5", "dataset seed");
+      .Define("window", "32", "positions per reported band");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
 
   const uint32_t max_position = static_cast<uint32_t>(flags.GetUint("max-position"));
   const size_t window = flags.GetUint("window");
+  const auto [keys, workers, seed] = GetScaleFlags(flags, scale);
   DatasetOptions options;
-  options.keys = flags.GetUint("keys");
-  options.workers = static_cast<unsigned>(flags.GetUint("workers"));
-  options.seed = flags.GetUint("seed");
+  options.keys = keys;
+  options.workers = workers;
+  options.seed = seed;
 
   bench::PrintHeader("bench_fig5_z1z2_influence",
                      "Fig. 5 (six Z1/Z2-induced bias families) + Sect. 3.3.2 "

@@ -15,19 +15,23 @@ namespace rc4b {
 namespace {
 
 int Run(int argc, char** argv) {
+  const ScaleFlagSpec scale{.count_flag = "keys",
+                            .count_default = "0x20000000",
+                            .count_help = "RC4 keys (2^29; paper used 2^47)",
+                            .seed_default = "6",
+                            .seed_help = "dataset seed"};
   FlagSet flags("Fig. 6: single-byte biases beyond position 256");
-  flags.Define("keys", "0x20000000", "RC4 keys (2^29; paper used 2^47)")
-      .Define("positions", "513", "positions covered")
-      .Define("workers", "0", "worker threads")
-      .Define("seed", "6", "dataset seed");
+  DefineScaleFlags(flags, scale)
+      .Define("positions", "513", "positions covered");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
 
+  const auto [keys, workers, seed] = GetScaleFlags(flags, scale);
   DatasetOptions options;
-  options.keys = flags.GetUint("keys");
-  options.workers = static_cast<unsigned>(flags.GetUint("workers"));
-  options.seed = flags.GetUint("seed");
+  options.keys = keys;
+  options.workers = workers;
+  options.seed = seed;
   const size_t positions = flags.GetUint("positions");
 
   bench::PrintHeader("bench_fig6_singlebyte_beyond256",

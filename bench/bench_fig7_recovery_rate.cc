@@ -29,23 +29,23 @@ struct Fig7Trial {
 };
 
 int Run(int argc, char** argv) {
+  const ScaleFlagSpec scale{.count_flag = "sims",
+                            .count_default = "128",
+                            .count_help = "simulations per point (paper: 2048)",
+                            .seed_default = "10"};
   FlagSet flags("Fig. 7: two-byte recovery, ABSAB vs FM vs combined");
-  flags.Define("sims", "128", "simulations per point (paper: 2048)")
+  DefineScaleFlags(flags, scale)
       .Define("min-log2", "27", "log2 of smallest ciphertext count")
       .Define("max-log2", "39", "log2 of largest ciphertext count")
-      .Define("counter", "17", "PRGA counter i of the target digraph")
-      .Define("workers", "0", "worker threads")
-      .Define("seed", "10", "simulation seed");
+      .Define("counter", "17", "PRGA counter i of the target digraph");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
 
-  const uint64_t sims = flags.GetUint("sims");
+  const auto [sims, workers, seed] = GetScaleFlags(flags, scale);
   const int min_log2 = static_cast<int>(flags.GetInt("min-log2"));
   const int max_log2 = static_cast<int>(flags.GetInt("max-log2"));
   const uint8_t counter = static_cast<uint8_t>(flags.GetUint("counter"));
-  const uint64_t seed = flags.GetUint("seed");
-  const unsigned workers = static_cast<unsigned>(flags.GetUint("workers"));
 
   bench::PrintHeader(
       "bench_fig7_recovery_rate",

@@ -15,8 +15,12 @@ namespace rc4b {
 namespace {
 
 int Run(int argc, char** argv) {
+  const ScaleFlagSpec scale{.count_flag = "sims",
+                            .count_default = "24",
+                            .count_help = "simulated attacks (paper: 256)",
+                            .seed_default = "11"};
   FlagSet flags("Fig. 8: TKIP MIC key recovery success rate");
-  flags.Define("sims", "24", "simulated attacks (paper: 256)")
+  DefineScaleFlags(flags, scale)
       .Define("max-copies", "15", "largest checkpoint in units of 2^20 packets")
       .Define("step", "2", "checkpoint step in units of 2^20")
       .Define("keys-per-tsc", "0x40000", "model keys per TSC1 class (2^18)")
@@ -27,12 +31,11 @@ int Run(int argc, char** argv) {
       .Define("oracle", "true",
               "perfect-model victim (see src/sim/tkip_sim.h); false = real "
               "TKIP mixing + RC4 with an honestly-trained model")
-      .Define("workers", "0", "worker threads")
-      .Define("seed", "11", "simulation seed")
       .Define("model-seed", "12", "attacker model seed (independent of sims)");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
+  const ScaleFlagValues scale_values = GetScaleFlags(flags, scale);
 
   const uint64_t max_copies = flags.GetUint("max-copies");
   const uint64_t step = flags.GetUint("step");
@@ -49,7 +52,7 @@ int Run(int argc, char** argv) {
   std::printf("generating attacker model (256 classes x %llu keys)...\n",
               static_cast<unsigned long long>(flags.GetUint("keys-per-tsc")));
   model.Generate(flags.GetUint("keys-per-tsc"), flags.GetUint("model-seed"),
-                 static_cast<unsigned>(flags.GetUint("workers")));
+                 scale_values.workers);
   const double target_rms = flags.GetDouble("target-bias-rms");
   if (target_rms > 0.0) {
     const double raw_rms = model.RmsRelativeDeviation();
@@ -65,9 +68,9 @@ int Run(int argc, char** argv) {
     options.checkpoints.push_back(copies << 20);
   }
   options.candidate_budget = uint64_t{1} << flags.GetUint("budget-log2");
-  options.trials = flags.GetUint("sims");
-  options.workers = static_cast<unsigned>(flags.GetUint("workers"));
-  options.seed = flags.GetUint("seed");
+  options.trials = scale_values.count;
+  options.workers = scale_values.workers;
+  options.seed = scale_values.seed;
   options.oracle_model = flags.GetBool("oracle");
 
   const auto aggregate = sim::RunTkipSimulations(model, options);

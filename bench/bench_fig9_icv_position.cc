@@ -14,8 +14,12 @@ namespace rc4b {
 namespace {
 
 int Run(int argc, char** argv) {
+  const ScaleFlagSpec scale{.count_flag = "sims",
+                            .count_default = "16",
+                            .count_help = "simulated attacks (paper: 256)",
+                            .seed_default = "13"};
   FlagSet flags("Fig. 9: median candidate position of the first correct ICV");
-  flags.Define("sims", "16", "simulated attacks (paper: 256)")
+  DefineScaleFlags(flags, scale)
       .Define("max-copies", "15", "largest checkpoint in units of 2^20 packets")
       .Define("step", "2", "checkpoint step in units of 2^20")
       .Define("keys-per-tsc", "0x40000", "model keys per TSC1 class (2^18)")
@@ -25,12 +29,11 @@ int Run(int argc, char** argv) {
       .Define("oracle", "true",
               "perfect-model victim (see src/sim/tkip_sim.h); false = real "
               "TKIP mixing + RC4 with an honestly-trained model")
-      .Define("workers", "0", "worker threads")
-      .Define("seed", "13", "simulation seed")
       .Define("model-seed", "14", "attacker model seed");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
+  const ScaleFlagValues scale_values = GetScaleFlags(flags, scale);
 
   bench::PrintHeader(
       "bench_fig9_icv_position",
@@ -43,7 +46,7 @@ int Run(int argc, char** argv) {
   TkipTscModel model(msdu.size() + 1, msdu.size() + kTkipTrailerSize);
   std::printf("generating attacker model...\n");
   model.Generate(flags.GetUint("keys-per-tsc"), flags.GetUint("model-seed"),
-                 static_cast<unsigned>(flags.GetUint("workers")));
+                 scale_values.workers);
   const double target_rms = flags.GetDouble("target-bias-rms");
   if (target_rms > 0.0) {
     const double raw_rms = model.RmsRelativeDeviation();
@@ -59,9 +62,9 @@ int Run(int argc, char** argv) {
        copies += flags.GetUint("step")) {
     options.checkpoints.push_back(copies << 20);
   }
-  options.trials = flags.GetUint("sims");
-  options.workers = static_cast<unsigned>(flags.GetUint("workers"));
-  options.seed = flags.GetUint("seed");
+  options.trials = scale_values.count;
+  options.workers = scale_values.workers;
+  options.seed = scale_values.seed;
   options.oracle_model = flags.GetBool("oracle");
 
   const auto aggregate = sim::RunTkipSimulations(model, options);

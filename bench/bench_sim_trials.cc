@@ -24,17 +24,23 @@ double Seconds(const std::chrono::steady_clock::time_point& begin) {
 }
 
 int Run(int argc, char** argv) {
+  const ScaleFlagSpec scale{
+      .count_flag = "trials",
+      .count_default = "8",
+      .count_help = "simulated TKIP attacks per run",
+      .workers_flag = "threads",
+      .workers_help = "worker count for the parallel run (0 = all)",
+      .seed_default = "21"};
   FlagSet flags("src/sim trial throughput, 1 worker vs all cores");
-  flags.Define("trials", "8", "simulated TKIP attacks per run")
+  DefineScaleFlags(flags, scale)
       .Define("checkpoint", "0x4000", "packets captured per trial")
       .Define("keys-per-tsc", "0x400", "model keys per TSC1 class")
       .Define("cookie-trials", "8", "simulated cookie attacks per run")
-      .Define("cookie-ciphertexts", "0x8000000", "captured requests (2^27)")
-      .Define("threads", "0", "worker count for the parallel run (0 = all)")
-      .Define("seed", "21", "simulation seed");
+      .Define("cookie-ciphertexts", "0x8000000", "captured requests (2^27)");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
+  const auto [trial_count, parsed_threads, seed] = GetScaleFlags(flags, scale);
 
   bench::PrintHeader("bench_sim_trials",
                      "Sect. 5/6 Monte-Carlo simulations (Figs. 7-10 substrate)",
@@ -43,16 +49,15 @@ int Run(int argc, char** argv) {
 
   const Bytes msdu = sim::InjectedPacket();
   TkipTscModel model(msdu.size() + 1, msdu.size() + kTkipTrailerSize);
-  model.Generate(flags.GetUint("keys-per-tsc"), flags.GetUint("seed") + 1);
+  model.Generate(flags.GetUint("keys-per-tsc"), seed + 1);
 
   sim::TkipSimOptions options;
   options.checkpoints = {flags.GetUint("checkpoint")};
-  options.trials = flags.GetUint("trials");
-  options.seed = flags.GetUint("seed");
+  options.trials = trial_count;
+  options.seed = seed;
 
-  const unsigned all = flags.GetUint("threads") != 0
-                           ? static_cast<unsigned>(flags.GetUint("threads"))
-                           : DefaultWorkerCount();
+  const unsigned all =
+      parsed_threads != 0 ? parsed_threads : DefaultWorkerCount();
 
   std::printf("\nTKIP trailer-recovery simulation (%llu trials, checkpoint "
               "%llu packets):\n",
@@ -81,7 +86,7 @@ int Run(int argc, char** argv) {
 
   sim::CookieSimOptions cookie_options;
   cookie_options.trials = flags.GetUint("cookie-trials");
-  cookie_options.seed = flags.GetUint("seed");
+  cookie_options.seed = seed;
   const uint64_t ciphertexts = flags.GetUint("cookie-ciphertexts");
 
   std::printf("\ncookie brute-force simulation (%llu trials, %llu "
@@ -106,8 +111,7 @@ int Run(int argc, char** argv) {
   std::printf("  %2u workers: %8.2f trials/s (%.2fx)\n", all,
               static_cast<double>(cookie_options.trials) / cookie_parallel_s,
               cookie_serial_s / cookie_parallel_s);
-  if (cookie_serial.budget_wins != cookie_parallel.budget_wins ||
-      cookie_serial.best_wins != cookie_parallel.best_wins) {
+  if (!(cookie_serial == cookie_parallel)) {
     std::printf("  BIT-EXACTNESS VIOLATION: 1-worker and %u-worker aggregates "
                 "differ\n",
                 all);

@@ -16,20 +16,24 @@ namespace rc4b {
 namespace {
 
 int Run(int argc, char** argv) {
+  const ScaleFlagSpec scale{.count_flag = "keys",
+                            .count_default = "512",
+                            .count_help = "RC4 keys (one long keystream each)",
+                            .seed_default = "1",
+                            .seed_help = "dataset seed"};
   FlagSet flags("Table 1: long-term Fluhrer-McGrew digraph probabilities");
-  flags.Define("keys", "512", "RC4 keys (one long keystream each)")
-      .Define("bytes-per-key", "0x4000000", "keystream bytes per key (2^26)")
-      .Define("workers", "0", "worker threads (0 = all cores)")
-      .Define("seed", "1", "dataset seed");
+  DefineScaleFlags(flags, scale)
+      .Define("bytes-per-key", "0x4000000", "keystream bytes per key (2^26)");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
 
+  const auto [keys, workers, seed] = GetScaleFlags(flags, scale);
   LongTermOptions options;
-  options.keys = flags.GetUint("keys");
+  options.keys = keys;
   options.bytes_per_key = flags.GetUint("bytes-per-key");
-  options.workers = static_cast<unsigned>(flags.GetUint("workers"));
-  options.seed = flags.GetUint("seed");
+  options.workers = workers;
+  options.seed = seed;
 
   const double total_samples =
       static_cast<double>(options.keys) * static_cast<double>(options.bytes_per_key);

@@ -79,18 +79,23 @@ const EqualityBias kEqualities[] = {
 };
 
 int Run(int argc, char** argv) {
+  const ScaleFlagSpec scale{
+      .count_flag = "keys",
+      .count_default = "0x20000000",
+      .count_help = "RC4 keys (2^29; paper used 2^44-2^45)",
+      .seed_default = "7",
+      .seed_help = "dataset seed"};
   FlagSet flags("Table 2 + eqs (2)-(5): short-term pair biases");
-  flags.Define("keys", "0x20000000", "RC4 keys (2^29; paper used 2^44-2^45)")
-      .Define("workers", "0", "worker threads")
-      .Define("seed", "7", "dataset seed");
+  DefineScaleFlags(flags, scale);
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
 
+  const auto [keys, workers, seed] = GetScaleFlags(flags, scale);
   DatasetOptions options;
-  options.keys = flags.GetUint("keys");
-  options.workers = static_cast<unsigned>(flags.GetUint("workers"));
-  options.seed = flags.GetUint("seed");
+  options.keys = keys;
+  options.workers = workers;
+  options.seed = seed;
 
   bench::PrintHeader("bench_table2_pair_biases",
                      "Table 2 and eqs (2)-(5) (biases between keystream bytes)",

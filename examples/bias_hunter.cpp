@@ -14,19 +14,24 @@
 using namespace rc4b;
 
 int main(int argc, char** argv) {
+  const ScaleFlagSpec scale{
+      .count_flag = "keys",
+      .count_default = "0x800000",
+      .count_help = "random 128-bit RC4 keys to sample (2^23)",
+      .seed_default = "1337",
+      .seed_help = "dataset seed"};
   FlagSet flags("Empirical RC4 bias hunt (Sect. 3 of the paper, scaled down)");
-  flags.Define("keys", "0x800000", "random 128-bit RC4 keys to sample (2^23)")
-      .Define("positions", "8", "initial keystream positions to scan")
-      .Define("workers", "0", "worker threads (0 = all cores)")
-      .Define("seed", "1337", "dataset seed");
+  DefineScaleFlags(flags, scale)
+      .Define("positions", "8", "initial keystream positions to scan");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
 
+  const auto [keys, workers, seed] = GetScaleFlags(flags, scale);
   DatasetOptions options;
-  options.keys = flags.GetUint("keys");
-  options.workers = static_cast<unsigned>(flags.GetUint("workers"));
-  options.seed = flags.GetUint("seed");
+  options.keys = keys;
+  options.workers = workers;
+  options.seed = seed;
   const size_t positions = flags.GetUint("positions");
 
   std::printf("sampling %llu keys, positions 1..%zu...\n",

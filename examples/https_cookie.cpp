@@ -21,6 +21,7 @@
 
 #include "src/common/flags.h"
 #include "src/common/rng.h"
+#include "src/recovery/likelihood_source.h"
 #include "src/sim/cookie_sim.h"
 #include "src/tls/cookie_attack.h"
 #include "src/tls/session.h"
@@ -84,7 +85,10 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
-    transitions = CookieTransitionTables(stats, align1);
+    // The captured-statistics likelihood source: FM + multi-gap ABSAB
+    // combination behind the same interface the sampled path uses below.
+    recovery::CapturedCookieLikelihoodSource source(stats, align1);
+    transitions = source.Tables();
   } else {
     // --- Paper-scale statistics via the shared Fig. 10 simulation pipeline
     // (src/sim/cookie_sim.h): exact Poissonized FM counts plus multi-gap
@@ -99,8 +103,9 @@ int main(int argc, char** argv) {
     sim_options.m1 = m1;
     sim_options.m_last = m_last;
     const sim::CookieSimContext context(sim_options);
-    transitions =
-        sim::SampleCookieTransitions(context, secret_cookie, requests, rng);
+    sim::SampledCookieLikelihoodSource source(context, secret_cookie, requests,
+                                              rng);
+    transitions = source.Tables();
   }
 
   // --- Brute force against the server -------------------------------------

@@ -67,7 +67,8 @@ std::vector<PairDependence> ScanPairDependence(const DigraphGrid& grid, double a
   return results;
 }
 
-std::vector<BiasedCell> FindBiasedCells(const DigraphGrid& grid, size_t row, double alpha) {
+std::vector<BiasedCell> FindBiasedCells(const DigraphGrid& grid, size_t row,
+                                        double alpha) {
   const auto expected = IndependenceExpectation(grid, row);
   const auto counts = grid.Row(row);
   const uint64_t n = grid.keys();

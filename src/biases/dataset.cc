@@ -36,7 +36,8 @@ LongTermEngineOptions ToLongTermOptions(const LongTermOptions& options) {
 
 }  // namespace
 
-SingleByteGrid GenerateSingleByteDataset(size_t positions, const DatasetOptions& options) {
+SingleByteGrid GenerateSingleByteDataset(size_t positions,
+                                         const DatasetOptions& options) {
   SingleByteAccumulator accumulator(positions);
   RunKeystreamEngine(ToEngineOptions(options), accumulator);
   return accumulator.TakeGrid();

@@ -77,4 +77,18 @@ bool FlagSet::GetBool(const std::string& name) const {
   return v == "1" || v == "true" || v == "yes" || v == "on";
 }
 
+FlagSet& DefineScaleFlags(FlagSet& flags, const ScaleFlagSpec& spec) {
+  return flags.Define(spec.count_flag, spec.count_default, spec.count_help)
+      .Define(spec.workers_flag, "0", spec.workers_help)
+      .Define("seed", spec.seed_default, spec.seed_help);
+}
+
+ScaleFlagValues GetScaleFlags(const FlagSet& flags, const ScaleFlagSpec& spec) {
+  ScaleFlagValues values;
+  values.count = flags.GetUint(spec.count_flag);
+  values.workers = static_cast<unsigned>(flags.GetUint(spec.workers_flag));
+  values.seed = flags.GetUint("seed");
+  return values;
+}
+
 }  // namespace rc4b

@@ -41,6 +41,35 @@ class FlagSet {
   std::map<std::string, Flag> flags_;
 };
 
+// Shared scale/parallelism flag conventions of the bench and example
+// binaries: a count flag (--keys for dataset generators, --sims for
+// Monte-Carlo harnesses, --trials for scenario runs), a worker-count flag
+// (--workers, or --threads where the binary sweeps worker counts itself)
+// and --seed. bench/harness.h shares the printing; these helpers share the
+// parsing, so every binary spells the common knobs the same way.
+struct ScaleFlagSpec {
+  std::string count_flag = "keys";
+  std::string count_default;
+  std::string count_help;
+  std::string workers_flag = "workers";
+  std::string workers_help = "worker threads (0 = all cores)";
+  std::string seed_default = "1";
+  std::string seed_help = "simulation seed";
+};
+
+struct ScaleFlagValues {
+  uint64_t count = 0;
+  unsigned workers = 0;
+  uint64_t seed = 0;
+};
+
+// Registers the spec's three flags on `flags`; returns `flags` for chaining
+// additional binary-specific Define calls.
+FlagSet& DefineScaleFlags(FlagSet& flags, const ScaleFlagSpec& spec);
+
+// Reads the three values back after Parse().
+ScaleFlagValues GetScaleFlags(const FlagSet& flags, const ScaleFlagSpec& spec);
+
 }  // namespace rc4b
 
 #endif  // SRC_COMMON_FLAGS_H_

@@ -151,7 +151,8 @@ Candidate LazyCandidateEnumerator::Next() {
 std::vector<Candidate> GenerateCandidatesDouble(const DoubleByteTables& transitions,
                                                 uint8_t m1, uint8_t m_last, size_t n,
                                                 std::span<const uint8_t> alphabet) {
-  const std::vector<uint8_t> full = alphabet.empty() ? FullAlphabet() : std::vector<uint8_t>();
+  const std::vector<uint8_t> full =
+      alphabet.empty() ? FullAlphabet() : std::vector<uint8_t>();
   const std::span<const uint8_t> a = alphabet.empty() ? std::span<const uint8_t>(full)
                                                       : alphabet;
   const size_t inner = transitions.size() - 1;  // number of unknown bytes

@@ -76,7 +76,8 @@ std::array<uint8_t, 8> MichaelKeyToBytes(const MichaelKey& key) {
   return out;
 }
 
-std::array<uint8_t, 8> MichaelMic(const MichaelKey& key, std::span<const uint8_t> message) {
+std::array<uint8_t, 8> MichaelMic(const MichaelKey& key,
+                                  std::span<const uint8_t> message) {
   State s{key.l, key.r};
   for (uint32_t word : PadToWords(message)) {
     s.l ^= word;

@@ -29,7 +29,8 @@ std::array<uint8_t, 8> MichaelKeyToBytes(const MichaelKey& key);
 // Computes MIC(key, message). The message is the MSDU view used by TKIP:
 // DA || SA || priority || 3 zero bytes || payload. Callers that want the raw
 // Michael function (e.g. the chained test vectors) pass the message directly.
-std::array<uint8_t, 8> MichaelMic(const MichaelKey& key, std::span<const uint8_t> message);
+std::array<uint8_t, 8> MichaelMic(const MichaelKey& key,
+                                  std::span<const uint8_t> message);
 
 // Recovers the key from a message and its MIC by inverting the block function
 // and unwinding the message words (Tews/Beck). Exact inverse: for all keys

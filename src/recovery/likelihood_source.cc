@@ -1,0 +1,63 @@
+#include "src/recovery/likelihood_source.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "src/core/likelihood.h"
+#include "src/tkip/attack.h"
+
+namespace rc4b::recovery {
+
+namespace {
+
+bool RowsAre256Wide(const auto& rows) {
+  for (const auto& row : rows) {
+    if (row.size() != 256) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+SingleByteTables TkipTscLikelihoodSource::Tables() {
+  return TkipTrailerLikelihoods(*stats_, *model_);
+}
+
+SingleByteModelSource::SingleByteModelSource(
+    std::vector<std::vector<uint64_t>> counts,
+    std::vector<std::vector<double>> log_model)
+    : counts_(std::move(counts)), log_model_(std::move(log_model)) {
+  // Load-bearing validation: Tables() pairs counts_[r] with log_model_[r]
+  // and the likelihood kernel reads 256 cells of each, so a shape mismatch
+  // must disable the source rather than read out of bounds in Release
+  // builds. Loud, because empty tables downstream look like a legitimately
+  // failed attack.
+  const bool valid = counts_.size() == log_model_.size() &&
+                     RowsAre256Wide(counts_) && RowsAre256Wide(log_model_);
+  assert(valid);
+  if (!valid) {
+    std::fprintf(stderr,
+                 "SingleByteModelSource: %zu count rows vs %zu model rows "
+                 "(all rows must have 256 cells); source disabled\n",
+                 counts_.size(), log_model_.size());
+    counts_.clear();
+    log_model_.clear();
+  }
+}
+
+SingleByteTables SingleByteModelSource::Tables() {
+  SingleByteTables tables;
+  tables.reserve(counts_.size());
+  for (size_t r = 0; r < counts_.size(); ++r) {
+    tables.push_back(SingleByteLogLikelihood(counts_[r], log_model_[r]));
+  }
+  return tables;
+}
+
+DoubleByteTables CapturedCookieLikelihoodSource::Tables() {
+  return CookieTransitionTables(*stats_, keystream_alignment_);
+}
+
+}  // namespace rc4b::recovery

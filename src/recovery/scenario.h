@@ -1,0 +1,135 @@
+// Named end-to-end recovery scenarios (docs/recovery.md).
+//
+// A scenario is one parameterized Monte-Carlo evaluation of the unified
+// recovery pipeline: victim setup, statistics capture (real or sampled from
+// the exact law), a LikelihoodSource, and the rank / RecoveryEngine success
+// criteria — run trial-parallel on src/sim/runner.h under its determinism
+// contract, so every outcome is bit-exact for any worker count. The registry
+// names concrete parameterizations (cookie length x charset x gap budget,
+// TKIP trailer/payload variants, single-byte recovery beyond position 256)
+// so benches, sims, examples and tests all drive the same API instead of
+// hand-rolling per-workload harnesses.
+#ifndef SRC_RECOVERY_SCENARIO_H_
+#define SRC_RECOVERY_SCENARIO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/bytes.h"
+
+namespace rc4b::recovery {
+
+// Shared scale knobs. Zero (or empty) fields select the scenario's default,
+// so one flag set drives every scenario family.
+struct ScenarioParams {
+  uint64_t trials = 8;      // simulated attacks
+  unsigned workers = 0;     // trial shards; 0 = hardware concurrency
+  uint64_t seed = 1;        // base seed of the (seed, trial) derivation
+  uint64_t samples = 0;     // captured frames / requests per trial
+  uint64_t budget = 0;      // candidate / brute-force attempt budget
+  uint64_t model_keys = 0;  // attacker-model scale (keys per class / total)
+};
+
+// Per-scenario aggregate, folded in trial order (bit-exact for any
+// ScenarioParams::workers at a fixed seed).
+struct ScenarioOutcome {
+  uint64_t trials = 0;
+  uint64_t budget_wins = 0;  // truth recoverable within the budget
+  uint64_t exact_wins = 0;   // truth within the top two candidates
+  // [trial] rank-style metric of the truth (candidate-list position).
+  std::vector<double> ranks;
+
+  bool operator==(const ScenarioOutcome&) const = default;
+};
+
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  const std::string& name() const { return name_; }
+  const std::string& description() const { return description_; }
+
+  // Runs params.trials simulated attacks on the thread pool. Deterministic:
+  // a pure function of params minus params.workers.
+  virtual ScenarioOutcome Run(const ScenarioParams& params) const = 0;
+
+ protected:
+  Scenario(std::string name, std::string description)
+      : name_(std::move(name)), description_(std::move(description)) {}
+
+ private:
+  std::string name_;
+  std::string description_;
+};
+
+class ScenarioRegistry {
+ public:
+  // Registers a scenario; its name must be unique within the registry.
+  void Register(std::unique_ptr<Scenario> scenario);
+
+  // Lookup by name; nullptr when absent.
+  const Scenario* Find(std::string_view name) const;
+
+  // All scenarios in registration order.
+  std::vector<const Scenario*> List() const;
+
+  // The built-in scenarios: the paper's two headline attacks plus the
+  // variants listed in docs/recovery.md.
+  static const ScenarioRegistry& Builtin();
+
+ private:
+  std::vector<std::unique_ptr<Scenario>> scenarios_;
+};
+
+// --- Built-in scenario families ------------------------------------------
+// Factories are exposed so callers can register their own parameterizations
+// next to the built-ins (see docs/recovery.md "adding a scenario").
+
+// WPA-TKIP trailer decryption (Sect. 5): per-TSC1 likelihoods over captured
+// retransmissions of the injected packet, CRC(MIC||ICV) verification.
+struct TkipTrailerScenarioConfig {
+  bool oracle = true;     // perfect-model victim (see src/sim/tkip_sim.h)
+  Bytes payload;          // injected TCP payload; empty = Sect. 5.2's 7 bytes
+  double target_bias_rms = 0.0015;  // model calibration (0 = raw model)
+  uint64_t default_model_keys = uint64_t{1} << 14;  // keys per TSC1 class
+  uint64_t default_samples = uint64_t{1} << 20;     // captured frames
+  uint64_t default_budget = uint64_t{1} << 30;      // candidate traversal
+};
+std::unique_ptr<Scenario> MakeTkipTrailerScenario(
+    std::string name, std::string description, TkipTrailerScenarioConfig config);
+
+// HTTPS secure-cookie brute force (Sect. 6): combined FM + multi-gap ABSAB
+// transition tables at paper-scale request counts, Algorithm 2 candidates
+// restricted to the cookie charset, rank-vs-budget success.
+struct CookieScenarioConfig {
+  size_t cookie_length = 16;
+  std::vector<uint8_t> alphabet;  // empty = CookieAlphabet64()
+  uint64_t max_gap = 128;         // largest ABSAB gap combined
+  size_t alignment = 48;          // cookie keystream position mod 256
+  uint64_t default_samples = uint64_t{9} << 27;  // captured requests
+  uint64_t default_budget = uint64_t{1} << 23;   // brute-force attempts
+};
+std::unique_ptr<Scenario> MakeCookieScenario(std::string name,
+                                             std::string description,
+                                             CookieScenarioConfig config);
+
+// Single-byte plaintext recovery beyond keystream position 256 (Sect. 3.3.3
+// / 6.1 setting): per-position distributions measured with the keystream
+// engine, Poissonized ciphertext counts, lambda tables via formula (12), and
+// a RecoveryEngine traversal with a truth oracle.
+struct SingleByteScenarioConfig {
+  size_t first_position = 257;  // 1-based; past the initial 256 bytes
+  size_t length = 4;            // unknown plaintext bytes
+  uint64_t default_model_keys = uint64_t{1} << 16;  // dataset keys
+  uint64_t default_samples = uint64_t{1} << 12;     // captured ciphertexts
+  uint64_t default_budget = uint64_t{1} << 16;      // candidate traversal
+};
+std::unique_ptr<Scenario> MakeSingleByteScenario(
+    std::string name, std::string description, SingleByteScenarioConfig config);
+
+}  // namespace rc4b::recovery
+
+#endif  // SRC_RECOVERY_SCENARIO_H_

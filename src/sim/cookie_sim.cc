@@ -26,7 +26,9 @@ std::vector<double> AbsabAlphasForPair(size_t pair_index, size_t cookie_length,
 }
 
 CookieSimContext::CookieSimContext(const CookieSimOptions& options)
-    : options_(options), alphabet_(CookieAlphabet64()) {
+    : options_(options),
+      alphabet_(options.alphabet.empty() ? CookieAlphabet64()
+                                         : options.alphabet) {
   for (size_t t = 0; t < pair_count(); ++t) {
     // The pair's first byte is output at 1-based position alignment + t.
     const uint8_t counter = PrgaCounterAtPosition(options_.alignment + t);
@@ -67,8 +69,8 @@ CookieSimResult RunCookieTrial(const CookieSimContext& context,
     b = alphabet[rng.Below(alphabet.size())];
   }
 
-  const auto transitions =
-      SampleCookieTransitions(context, truth, ciphertexts, rng);
+  SampledCookieLikelihoodSource source(context, truth, ciphertexts, rng);
+  const auto transitions = source.Tables();
   const auto bracket =
       MarkovRank(transitions, options.m1, options.m_last, truth, alphabet);
   const Bytes best = MarkovBest(transitions, options.m1, options.m_last,
@@ -95,9 +97,12 @@ CookieSimAggregate RunCookieSimulations(const CookieSimContext& context,
 
   CookieSimAggregate aggregate;
   aggregate.trials = options.trials;
+  // Fold in trial order: the aggregate is a pure function of (seed, trials),
+  // independent of how trials were sharded.
   for (const CookieSimResult& result : per_trial) {
     aggregate.budget_wins += result.rank_within_budget ? 1 : 0;
     aggregate.best_wins += result.best_is_truth ? 1 : 0;
+    aggregate.ranks.push_back(result.truth_rank);
   }
   return aggregate;
 }

@@ -18,11 +18,15 @@
 #include "src/biases/fluhrer_mcgrew.h"
 #include "src/common/rng.h"
 #include "src/core/candidates.h"
+#include "src/recovery/likelihood_source.h"
 
 namespace rc4b::sim {
 
 struct CookieSimOptions {
   size_t cookie_length = 16;
+  // Character set the cookie is drawn from and the candidate search is
+  // restricted to (Sect. 6.2). Empty selects CookieAlphabet64().
+  std::vector<uint8_t> alphabet;
   // 0-based keystream offset of the first cookie byte, modulo 256; pair t's
   // first byte sits at 1-based PRGA position alignment + t.
   size_t alignment = 48;
@@ -80,6 +84,31 @@ DoubleByteTables SampleCookieTransitions(const CookieSimContext& context,
                                          std::span<const uint8_t> cookie,
                                          uint64_t ciphertexts, Xoshiro256& rng);
 
+// LikelihoodSource adapter over the sampled-capture path: each Tables() call
+// draws one fresh set of paper-scale combined FM + ABSAB transition tables
+// for `cookie` from the attached generator. The context, cookie bytes and
+// generator must outlive the source.
+class SampledCookieLikelihoodSource
+    : public recovery::DoubleByteLikelihoodSource {
+ public:
+  SampledCookieLikelihoodSource(const CookieSimContext& context,
+                                std::span<const uint8_t> cookie,
+                                uint64_t ciphertexts, Xoshiro256& rng)
+      : context_(&context), cookie_(cookie), ciphertexts_(ciphertexts),
+        rng_(&rng) {}
+
+  size_t inner_length() const override { return cookie_.size(); }
+  DoubleByteTables Tables() override {
+    return SampleCookieTransitions(*context_, cookie_, ciphertexts_, *rng_);
+  }
+
+ private:
+  const CookieSimContext* context_;
+  std::span<const uint8_t> cookie_;
+  uint64_t ciphertexts_;
+  Xoshiro256* rng_;
+};
+
 struct CookieSimResult {
   double truth_rank = 0.0;          // Markov rank DP estimate of the truth
   bool rank_within_budget = false;  // rank < attempt_budget
@@ -96,6 +125,11 @@ struct CookieSimAggregate {
   uint64_t trials = 0;
   uint64_t budget_wins = 0;  // rank_within_budget count
   uint64_t best_wins = 0;    // best_is_truth count
+  // [trial] truth_rank, in trial order (the recovery layer's rank metric).
+  std::vector<double> ranks;
+
+  // Field-wise equality for the worker-count bit-exactness checks.
+  bool operator==(const CookieSimAggregate&) const = default;
 };
 
 // Runs options.trials simulated attacks at `ciphertexts` captured requests

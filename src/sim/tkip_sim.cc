@@ -6,12 +6,15 @@
 
 #include "src/core/rank.h"
 #include "src/net/packet.h"
+#include "src/recovery/likelihood_source.h"
 #include "src/sim/runner.h"
 #include "src/tkip/attack.h"
 
 namespace rc4b::sim {
 
-Bytes InjectedPacket() {
+Bytes InjectedPacket() { return InjectedPacket(FromString("7bytes!")); }
+
+Bytes InjectedPacket(std::span<const uint8_t> payload) {
   Ipv4Header ip;
   ip.source = 0xc0a80164;
   ip.destination = 0x5db8d822;
@@ -19,7 +22,7 @@ Bytes InjectedPacket() {
   TcpHeader tcp;
   tcp.source_port = 80;
   tcp.destination_port = 52341;
-  return BuildTcpPacket(LlcSnapHeader{}, ip, tcp, FromString("7bytes!"));
+  return BuildTcpPacket(LlcSnapHeader{}, ip, tcp, payload);
 }
 
 TkipPeer RandomPeer(Xoshiro256& rng) {
@@ -55,7 +58,8 @@ std::vector<TkipSimPoint> RunTkipTrial(const TkipTscModel& model,
                                        const TkipSimOptions& options,
                                        Xoshiro256& rng) {
   const TkipPeer peer = RandomPeer(rng);
-  const Bytes msdu = InjectedPacket();
+  const Bytes msdu = options.payload.empty() ? InjectedPacket()
+                                             : InjectedPacket(options.payload);
   const Bytes trailer = TkipTrailer(peer, msdu);
   const size_t first = msdu.size() + 1;
   const size_t last = msdu.size() + kTkipTrailerSize;
@@ -65,6 +69,7 @@ std::vector<TkipSimPoint> RunTkipTrial(const TkipTscModel& model,
   const uint64_t initial_tsc = rng() & 0xffffffff;
   TrailerFrameSource source(model, options.oracle_model, peer, msdu, trailer,
                             initial_tsc, rng());
+  recovery::TkipTscLikelihoodSource likelihoods(stats, model);
 
   std::vector<TkipSimPoint> points;
   uint64_t sent = 0;
@@ -75,7 +80,7 @@ std::vector<TkipSimPoint> RunTkipTrial(const TkipTscModel& model,
       (void)accepted;
       ++sent;
     }
-    const auto tables = TkipTrailerLikelihoods(stats, model);
+    const auto tables = likelihoods.Tables();
     const auto bracket = IndependentRank(tables, trailer);
 
     TkipSimPoint point;

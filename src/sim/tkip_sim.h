@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -25,6 +26,10 @@ namespace rc4b::sim {
 
 struct TkipSimOptions {
   std::vector<uint64_t> checkpoints;  // packet counts at which to evaluate
+  // Payload of the injected TCP packet. Empty selects Sect. 5.2's optimal
+  // 7-byte payload; other lengths shift the MIC+ICV trailer to different
+  // keystream positions (the scenario registry's TKIP variants).
+  Bytes payload;
   // Traversal budget for the success criterion ("nearly 2^30 candidates").
   uint64_t candidate_budget = uint64_t{1} << 30;
   uint64_t trials = 16;  // simulated attacks (the paper runs 256)
@@ -48,6 +53,10 @@ struct TkipSimPoint {
 // Builds the attack's injected packet: 48 bytes of headers + 7-byte payload
 // (Sect. 5.2's optimal structure).
 Bytes InjectedPacket();
+
+// Same headers with an arbitrary payload — longer payloads place the
+// MIC+ICV trailer at deeper keystream positions.
+Bytes InjectedPacket(std::span<const uint8_t> payload);
 
 // A TKIP peer with uniformly random keys and addresses, drawn from `rng` —
 // the victim of one simulated attack.

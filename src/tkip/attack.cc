@@ -1,10 +1,10 @@
 #include "src/tkip/attack.h"
 
 #include <cstdio>
-#include <cstring>
 
 #include "src/core/likelihood.h"
 #include "src/crypto/crc32.h"
+#include "src/recovery/engine.h"
 
 namespace rc4b {
 
@@ -69,29 +69,34 @@ TkipAttackResult RecoverTkipTrailer(std::span<const uint8_t> known_msdu,
   uint32_t msdu_state = Crc32Init();
   msdu_state = Crc32Update(msdu_state, known_msdu);
 
-  LazyCandidateEnumerator enumerator(likelihoods);
-  for (uint64_t n = 0; n < max_candidates && !enumerator.Exhausted(); ++n) {
-    const Candidate candidate = enumerator.Next();
-    result.candidates_tried = n + 1;
-    const std::span<const uint8_t> trailer(candidate.plaintext);
-    const uint32_t crc = Crc32Final(Crc32Update(msdu_state, trailer.subspan(0, 8)));
-    if (crc != LoadLe32(trailer.data() + 8)) {
-      continue;
-    }
-    result.found = true;
-    result.trailer = candidate.plaintext;
-    result.correct = !true_trailer.empty() &&
-                     true_trailer.size() == trailer.size() &&
-                     std::memcmp(true_trailer.data(), trailer.data(),
-                                 trailer.size()) == 0;
-    // Derive the Michael key from the recovered MIC (Sect. 5.3 / [44]):
-    // MIC = Michael(key, DA || SA || prio || 0^3 || msdu), inverted exactly.
-    const auto header = MichaelHeader(peer.da, peer.sa, peer.priority);
-    Bytes authenticated(header.begin(), header.end());
-    authenticated.insert(authenticated.end(), known_msdu.begin(), known_msdu.end());
-    result.mic_key = MichaelRecoverKey(authenticated, trailer.subspan(0, 8));
+  // The unified recovery loop (src/recovery/engine.h) with the TKIP
+  // verification predicate: CRC-32(msdu || MIC) must equal the ICV.
+  recovery::RecoveryOptions options;
+  options.max_candidates = max_candidates;
+  options.truth.assign(true_trailer.begin(), true_trailer.end());
+  const recovery::RecoveryEngine engine(std::move(options));
+  const auto recovered =
+      engine.RecoverSingle(likelihoods, [&](const Bytes& trailer) {
+        const std::span<const uint8_t> bytes(trailer);
+        const uint32_t crc =
+            Crc32Final(Crc32Update(msdu_state, bytes.subspan(0, 8)));
+        return crc == LoadLe32(bytes.data() + 8);
+      });
+  result.found = recovered.found;
+  result.correct = recovered.correct;
+  result.candidates_tried = recovered.candidates_tried;
+  if (!recovered.found) {
     return result;
   }
+  result.trailer = recovered.plaintext;
+  // Derive the Michael key from the recovered MIC (Sect. 5.3 / [44]):
+  // MIC = Michael(key, DA || SA || prio || 0^3 || msdu), inverted exactly.
+  const auto header = MichaelHeader(peer.da, peer.sa, peer.priority);
+  Bytes authenticated(header.begin(), header.end());
+  authenticated.insert(authenticated.end(), known_msdu.begin(),
+                       known_msdu.end());
+  result.mic_key = MichaelRecoverKey(
+      authenticated, std::span<const uint8_t>(result.trailer).subspan(0, 8));
   return result;
 }
 

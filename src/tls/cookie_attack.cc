@@ -6,6 +6,7 @@
 #include "src/biases/fluhrer_mcgrew.h"
 #include "src/biases/mantin.h"
 #include "src/core/likelihood.h"
+#include "src/recovery/engine.h"
 
 namespace rc4b {
 
@@ -118,18 +119,31 @@ CookieBruteForceResult BruteForceCookie(
     const DoubleByteTables& transitions, uint8_t m1, uint8_t m_last,
     std::span<const uint8_t> alphabet, size_t max_candidates,
     const std::function<bool(const Bytes&)>& try_cookie) {
+  // The unified recovery loop (src/recovery/engine.h) with the server oracle
+  // as its verification predicate.
+  recovery::RecoveryOptions options;
+  options.max_candidates = max_candidates;
+  const recovery::RecoveryEngine engine(std::move(options));
+  const auto recovered = engine.RecoverDouble(
+      transitions, recovery::PairBoundary{m1, m_last}, alphabet, try_cookie);
   CookieBruteForceResult result;
-  const auto candidates =
-      GenerateCandidatesDouble(transitions, m1, m_last, max_candidates, alphabet);
-  for (const Candidate& candidate : candidates) {
-    ++result.attempts;
-    if (try_cookie(candidate.plaintext)) {
-      result.success = true;
-      result.cookie = candidate.plaintext;
-      return result;
-    }
+  result.success = recovered.found;
+  result.attempts = recovered.candidates_tried;
+  if (recovered.found) {
+    result.cookie = recovered.plaintext;
   }
   return result;
+}
+
+std::vector<uint8_t> CookieAlphabetHex() {
+  std::vector<uint8_t> alphabet;
+  for (char c = '0'; c <= '9'; ++c) {
+    alphabet.push_back(static_cast<uint8_t>(c));
+  }
+  for (char c = 'a'; c <= 'f'; ++c) {
+    alphabet.push_back(static_cast<uint8_t>(c));
+  }
+  return alphabet;
 }
 
 std::vector<uint8_t> CookieAlphabet64() {

@@ -3,6 +3,11 @@
 // Fluhrer–McGrew and multi-gap ABSAB estimates (Sect. 4.2/4.3), generate a
 // cookie candidate list with Algorithm 2 restricted to the cookie character
 // set (Sect. 6.2), and brute-force the list against the server.
+//
+// The statistics-to-tables step is exposed to the unified recovery pipeline
+// as the CapturedCookieLikelihoodSource adapter, and BruteForceCookie runs
+// on the RecoveryEngine with the server oracle as its verification
+// predicate (docs/recovery.md).
 #ifndef SRC_TLS_COOKIE_ATTACK_H_
 #define SRC_TLS_COOKIE_ATTACK_H_
 
@@ -100,6 +105,10 @@ CookieBruteForceResult BruteForceCookie(
 // (Sect. 6.2): base64-style values. Returns the 64-character set used by our
 // experiments.
 std::vector<uint8_t> CookieAlphabet64();
+
+// Lower-case hexadecimal values (16 characters): session tokens emitted as
+// hex digests, an even tighter Sect. 6.2 restriction.
+std::vector<uint8_t> CookieAlphabetHex();
 
 }  // namespace rc4b
 

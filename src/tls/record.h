@@ -27,7 +27,8 @@ class TlsWriteState {
   TlsWriteState(std::span<const uint8_t> mac_key, std::span<const uint8_t> rc4_key);
 
   // Seals `payload` into a full record: header || RC4(payload || HMAC).
-  Bytes Seal(std::span<const uint8_t> payload, uint8_t content_type = kTlsApplicationData);
+  Bytes Seal(std::span<const uint8_t> payload,
+             uint8_t content_type = kTlsApplicationData);
 
   uint64_t sequence_number() const { return sequence_number_; }
 

@@ -1,0 +1,117 @@
+#include "src/recovery/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/tls/cookie_attack.h"
+
+namespace rc4b::recovery {
+namespace {
+
+// Tiny parameterizations so the 1/2/4-worker sweeps stay fast; the outcome
+// contract (bit-exact for any worker count) is scale-independent.
+ScenarioParams TinyParams() {
+  ScenarioParams params;
+  params.trials = 3;
+  params.seed = 19;
+  params.samples = 1 << 11;
+  params.budget = 1 << 16;
+  params.model_keys = 1 << 8;
+  return params;
+}
+
+void ExpectBitExactAcrossWorkerCounts(const Scenario& scenario,
+                                      ScenarioParams params) {
+  params.workers = 1;
+  const auto one = scenario.Run(params);
+  EXPECT_EQ(one.trials, params.trials);
+  EXPECT_EQ(one.ranks.size(), params.trials);
+  for (double rank : one.ranks) {
+    EXPECT_TRUE(std::isfinite(rank));
+  }
+  for (unsigned workers : {2u, 4u}) {
+    params.workers = workers;
+    const auto many = scenario.Run(params);
+    EXPECT_TRUE(one == many) << scenario.name() << " workers=" << workers;
+  }
+}
+
+TEST(ScenarioRegistryTest, BuiltinNamesResolve) {
+  const auto& registry = ScenarioRegistry::Builtin();
+  for (const char* name :
+       {"tkip-trailer", "tkip-trailer-long16", "cookie-base64-16",
+        "cookie-hex-8-gap32", "singlebyte-beyond256"}) {
+    const Scenario* scenario = registry.Find(name);
+    ASSERT_NE(scenario, nullptr) << name;
+    EXPECT_EQ(scenario->name(), name);
+    EXPECT_FALSE(scenario->description().empty());
+  }
+  EXPECT_EQ(registry.Find("no-such-scenario"), nullptr);
+  EXPECT_EQ(registry.List().size(), 5u);
+}
+
+TEST(ScenarioRegistryTest, CustomScenariosRegisterNextToBuiltins) {
+  ScenarioRegistry registry;
+  CookieScenarioConfig config;
+  config.cookie_length = 2;
+  config.alphabet = CookieAlphabetHex();
+  config.max_gap = 8;
+  registry.Register(
+      MakeCookieScenario("my-workload", "two hex bytes", config));
+  const Scenario* scenario = registry.Find("my-workload");
+  ASSERT_NE(scenario, nullptr);
+
+  ScenarioParams params;
+  params.trials = 2;
+  params.seed = 3;
+  params.samples = uint64_t{1} << 32;
+  params.budget = 64;
+  const auto outcome = scenario->Run(params);
+  EXPECT_EQ(outcome.trials, 2u);
+  // Two hex characters at 2^32 ciphertexts: the combined FM + ABSAB signal
+  // pins both bytes in every trial.
+  EXPECT_EQ(outcome.budget_wins, 2u);
+}
+
+// The satellite contract extension: 1/2/4-worker bit-exactness of one
+// registry scenario from each family, mirroring tests/sim/.
+
+TEST(ScenarioDeterminismTest, TkipFamilyBitExactAcrossWorkerCounts) {
+  const auto& registry = ScenarioRegistry::Builtin();
+  ExpectBitExactAcrossWorkerCounts(*registry.Find("tkip-trailer"),
+                                   TinyParams());
+}
+
+TEST(ScenarioDeterminismTest, CookieFamilyBitExactAcrossWorkerCounts) {
+  const auto& registry = ScenarioRegistry::Builtin();
+  ScenarioParams params = TinyParams();
+  params.samples = uint64_t{1} << 28;
+  ExpectBitExactAcrossWorkerCounts(*registry.Find("cookie-hex-8-gap32"),
+                                   params);
+}
+
+TEST(ScenarioDeterminismTest, SingleByteFamilyBitExactAcrossWorkerCounts) {
+  const auto& registry = ScenarioRegistry::Builtin();
+  ScenarioParams params = TinyParams();
+  params.model_keys = 1 << 12;
+  ExpectBitExactAcrossWorkerCounts(*registry.Find("singlebyte-beyond256"),
+                                   params);
+}
+
+TEST(ScenarioDeterminismTest, PayloadVariantShiftsTheTrailerPositions) {
+  // The long-payload variant must still run end-to-end (its model and stats
+  // cover deeper keystream positions) and be deterministic at a fixed seed.
+  const auto& registry = ScenarioRegistry::Builtin();
+  const Scenario* scenario = registry.Find("tkip-trailer-long16");
+  ASSERT_NE(scenario, nullptr);
+  ScenarioParams params = TinyParams();
+  params.trials = 2;
+  const auto first = scenario->Run(params);
+  const auto second = scenario->Run(params);
+  EXPECT_TRUE(first == second);
+  EXPECT_EQ(first.trials, 2u);
+}
+
+}  // namespace
+}  // namespace rc4b::recovery
