@@ -1,19 +1,28 @@
-// Sharded keystream-engine throughput: keystreams/sec single-thread vs.
-// multi-shard, for the single-byte and consecutive-digraph accumulators,
-// plus a bit-exactness check that the sharded merge equals the
-// single-threaded reference for the same seed (the engine's core guarantee).
+// Sharded keystream-engine throughput: keystreams/sec for the single-byte
+// and consecutive-digraph accumulators, comparing
+//   * the scalar Rc4 path (--interleave=1) against the interleaved
+//     multi-stream kernel (src/rc4/rc4_multi.h) on one thread — the
+//     single-core headline of the kernel, and
+//   * one shard against all cores — the sharding headline.
+// Every run re-checks the engine's two bit-exactness guarantees: the multi
+// grid equals the scalar grid, and the sharded merge equals the
+// single-shard reference for the same seed.
 //
 // This is the repo's perf-trajectory bench for the dataset hot path every
 // attack scenario (Fig. 4-10, Tables 1-2) sits on; the nightly CI job
-// uploads its output as an artifact.
+// uploads its stdout and BENCH_engine_sharded.json as artifacts. This dev
+// box may have 1 core: read thread-scaling numbers off CI hardware (the
+// kernel speedup is single-thread and measurable anywhere).
 #include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "bench/harness.h"
 #include "src/common/flags.h"
 #include "src/common/thread_pool.h"
 #include "src/engine/accumulators.h"
 #include "src/engine/keystream_engine.h"
+#include "src/rc4/rc4_multi.h"
 
 namespace rc4b {
 namespace {
@@ -30,27 +39,43 @@ double TimedRun(const EngineOptions& options, Accumulator& accumulator) {
   return SecondsSince(start);
 }
 
+// Returns whether all grids were bit-exact.
 template <typename MakeAccumulator>
-void RunMode(const char* mode, uint64_t keys, uint64_t seed, unsigned threads,
+bool RunMode(const char* mode, const EngineOptions& base, unsigned threads,
+             size_t interleave, bench::JsonTrajectory& json,
              MakeAccumulator make_accumulator) {
-  EngineOptions options;
-  options.keys = keys;
-  options.seed = seed;
+  EngineOptions options = base;
+  const double n = static_cast<double>(options.keys);
 
   options.workers = 1;
-  auto reference = make_accumulator();
-  const double single_s = TimedRun(options, reference);
+  options.interleave = 1;
+  auto scalar = make_accumulator();
+  const double scalar_s = TimedRun(options, scalar);
+
+  options.interleave = interleave;
+  auto multi = make_accumulator();
+  const double multi_s = TimedRun(options, multi);
 
   options.workers = threads;
   auto sharded = make_accumulator();
-  const double multi_s = TimedRun(options, sharded);
+  const double sharded_s = TimedRun(options, sharded);
 
-  const double n = static_cast<double>(keys);
-  const bool exact = reference.grid() == sharded.grid();
-  std::printf("%-12s %10.0f ks/s (1 thread)  %10.0f ks/s (%u threads)  "
-              "speedup %.2fx  merge bit-exact: %s\n",
-              mode, n / single_s, n / multi_s, threads, single_s / multi_s,
+  const bool exact =
+      scalar.grid() == multi.grid() && scalar.grid() == sharded.grid();
+  std::printf("%-12s %10.0f ks/s scalar  %10.0f ks/s interleaved (%.2fx)  "
+              "%10.0f ks/s x%u threads (%.2fx)  bit-exact: %s\n",
+              mode, n / scalar_s, n / multi_s, scalar_s / multi_s,
+              n / sharded_s, threads, multi_s / sharded_s,
               exact ? "OK" : "FAILED");
+
+  const std::string prefix = mode;
+  json.Add(prefix + "_scalar_ks_per_s", n / scalar_s);
+  json.Add(prefix + "_interleaved_ks_per_s", n / multi_s);
+  json.Add(prefix + "_kernel_speedup", scalar_s / multi_s);
+  json.Add(prefix + "_sharded_ks_per_s", n / sharded_s);
+  json.Add(prefix + "_thread_speedup", multi_s / sharded_s);
+  json.Add(prefix + "_bit_exact", std::string(exact ? "true" : "false"));
+  return exact;
 }
 
 int Run(int argc, char** argv) {
@@ -68,23 +93,41 @@ int Run(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
-  const auto [keys, parsed_threads, seed] = GetScaleFlags(flags, scale);
+  const auto [keys, parsed_threads, seed, requested_interleave] =
+      GetScaleFlags(flags, scale);
   const size_t positions = static_cast<size_t>(flags.GetUint("positions"));
   const unsigned threads =
       parsed_threads != 0 ? parsed_threads : DefaultWorkerCount();
+  const size_t interleave = ResolveInterleave(requested_interleave);
 
   bench::PrintHeader(
       "bench_engine_sharded",
       "Sect. 3.2 dataset generation (engine substrate for Fig. 4-10, Tab. 1-2)",
-      "keystreams/sec, single shard vs. all cores, with merge bit-exactness");
-  std::printf("keys=%llu positions=%zu threads=%u (hardware: %u)\n\n",
+      "keystreams/sec: scalar vs interleaved kernel (1 thread), then all "
+      "cores; every run re-checks both bit-exactness guarantees");
+  std::printf("keys=%llu positions=%zu threads=%u (hardware: %u) interleave=%zu\n\n",
               static_cast<unsigned long long>(keys), positions, threads,
-              DefaultWorkerCount());
+              DefaultWorkerCount(), interleave);
 
-  RunMode("single-byte", keys, seed, threads,
-          [&] { return SingleByteAccumulator(positions); });
-  RunMode("digraph", keys, seed, threads,
-          [&] { return ConsecutiveAccumulator(positions); });
+  bench::JsonTrajectory json("engine_sharded");
+  json.Add("keys", static_cast<uint64_t>(keys));
+  json.Add("positions", static_cast<uint64_t>(positions));
+  json.Add("threads", static_cast<uint64_t>(threads));
+  json.Add("interleave", static_cast<uint64_t>(interleave));
+
+  EngineOptions base;
+  base.keys = keys;
+  base.seed = seed;
+
+  bool exact = RunMode("single-byte", base, threads, interleave, json,
+                       [&] { return SingleByteAccumulator(positions); });
+  exact &= RunMode("digraph", base, threads, interleave, json,
+                   [&] { return ConsecutiveAccumulator(positions); });
+  json.Write();
+  if (!exact) {
+    std::printf("\nBIT-EXACTNESS VIOLATION: see rows above\n");
+    return 1;
+  }
   return 0;
 }
 

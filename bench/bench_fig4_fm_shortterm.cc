@@ -40,11 +40,12 @@ int Run(int argc, char** argv) {
 
   const size_t positions = flags.GetUint("positions");
   const size_t window = flags.GetUint("window");
-  const auto [keys, workers, seed] = GetScaleFlags(flags, scale);
+  const auto [keys, workers, seed, interleave] = GetScaleFlags(flags, scale);
   DatasetOptions options;
   options.keys = keys;
   options.workers = workers;
   options.seed = seed;
+  options.interleave = interleave;
 
   bench::PrintHeader("bench_fig4_fm_shortterm",
                      "Fig. 4 (FM digraphs vs expected single-byte probability)",

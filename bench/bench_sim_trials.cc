@@ -40,12 +40,15 @@ int Run(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
-  const auto [trial_count, parsed_threads, seed] = GetScaleFlags(flags, scale);
+  const auto [trial_count, parsed_threads, seed, interleave] =
+      GetScaleFlags(flags, scale);
+  (void)interleave;  // no keystream-engine stage in this sim-only bench
 
   bench::PrintHeader("bench_sim_trials",
                      "Sect. 5/6 Monte-Carlo simulations (Figs. 7-10 substrate)",
                      "trials/s, 1 worker vs all cores; every run re-checks "
                      "that aggregates are bit-exact across worker counts");
+  bench::JsonTrajectory json("sim_trials");
 
   const Bytes msdu = sim::InjectedPacket();
   TkipTscModel model(msdu.size() + 1, msdu.size() + kTkipTrailerSize);
@@ -76,6 +79,12 @@ int Run(int argc, char** argv) {
   std::printf("  %2u workers: %8.2f trials/s (%.2fx)\n", all,
               static_cast<double>(options.trials) / parallel_s,
               serial_s / parallel_s);
+  json.Add("threads", static_cast<uint64_t>(all));
+  json.Add("tkip_trials", options.trials);
+  json.Add("tkip_serial_trials_per_s",
+           static_cast<double>(options.trials) / serial_s);
+  json.Add("tkip_parallel_trials_per_s",
+           static_cast<double>(options.trials) / parallel_s);
   if (!(serial == parallel)) {
     std::printf("  BIT-EXACTNESS VIOLATION: 1-worker and %u-worker aggregates "
                 "differ\n",
@@ -111,6 +120,11 @@ int Run(int argc, char** argv) {
   std::printf("  %2u workers: %8.2f trials/s (%.2fx)\n", all,
               static_cast<double>(cookie_options.trials) / cookie_parallel_s,
               cookie_serial_s / cookie_parallel_s);
+  json.Add("cookie_trials", cookie_options.trials);
+  json.Add("cookie_serial_trials_per_s",
+           static_cast<double>(cookie_options.trials) / cookie_serial_s);
+  json.Add("cookie_parallel_trials_per_s",
+           static_cast<double>(cookie_options.trials) / cookie_parallel_s);
   if (!(cookie_serial == cookie_parallel)) {
     std::printf("  BIT-EXACTNESS VIOLATION: 1-worker and %u-worker aggregates "
                 "differ\n",
@@ -118,6 +132,7 @@ int Run(int argc, char** argv) {
     return 1;
   }
   std::printf("  aggregates bit-exact across worker counts: OK\n");
+  json.Write();
   return 0;
 }
 

@@ -91,11 +91,12 @@ int Run(int argc, char** argv) {
     return 0;
   }
 
-  const auto [keys, workers, seed] = GetScaleFlags(flags, scale);
+  const auto [keys, workers, seed, interleave] = GetScaleFlags(flags, scale);
   DatasetOptions options;
   options.keys = keys;
   options.workers = workers;
   options.seed = seed;
+  options.interleave = interleave;
 
   bench::PrintHeader("bench_table2_pair_biases",
                      "Table 2 and eqs (2)-(5) (biases between keystream bytes)",

@@ -1,8 +1,11 @@
 // Substrate micro-throughput (google-benchmark): the building blocks whose
 // speed determined the paper's practical rates (Sect. 5.4: ~2500 injected
 // packets/s; Sect. 6.3: ~4450 HTTPS requests/s, 20000 cookie tests/s).
+// Alongside the console table the binary writes BENCH_throughput.json
+// (bench/harness.h) so the nightly perf job tracks every micro-number.
 #include <benchmark/benchmark.h>
 
+#include "bench/harness.h"
 #include "src/biases/fluhrer_mcgrew.h"
 #include "src/common/rng.h"
 #include "src/core/candidates.h"
@@ -15,6 +18,7 @@
 #include "src/crypto/michael.h"
 #include "src/crypto/sha1.h"
 #include "src/rc4/rc4.h"
+#include "src/rc4/rc4_multi.h"
 #include "src/tkip/frame.h"
 #include "src/tkip/key_mixing.h"
 #include "src/tls/record.h"
@@ -49,6 +53,44 @@ void BM_Rc4Keystream(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_Rc4Keystream)->Arg(256)->Arg(4096);
+
+// Interleaved kernel KSA: M lockstep key schedules per iteration. The
+// per-key rate versus BM_Rc4Ksa is the KSA half of the engine's short-term
+// speedup (256 swaps per key dominate 16-byte first16-style datasets).
+template <size_t M>
+void BM_Rc4MultiKsa(benchmark::State& state) {
+  const Bytes keys = RandomBytes(M * 16, 21);
+  for (auto _ : state) {
+    Rc4MultiStream<M> streams(keys, 16);
+    benchmark::DoNotOptimize(streams);
+  }
+  state.SetItemsProcessed(state.iterations() * M);
+}
+BENCHMARK_TEMPLATE(BM_Rc4MultiKsa, 4);
+BENCHMARK_TEMPLATE(BM_Rc4MultiKsa, 8);
+BENCHMARK_TEMPLATE(BM_Rc4MultiKsa, 16);
+BENCHMARK_TEMPLATE(BM_Rc4MultiKsa, 32);
+
+// Interleaved kernel PRGA: bytes/sec across all M streams (row stride =
+// keystream length, as in the engine's batch buffer). Compare against
+// BM_Rc4Keystream at the same length for the per-core PRGA speedup; this is
+// also the sweep that tunes kDefaultInterleave.
+template <size_t M>
+void BM_Rc4MultiKeystream(benchmark::State& state) {
+  const Bytes keys = RandomBytes(M * 16, 22);
+  Rc4MultiStream<M> streams(keys, 16);
+  const size_t length = static_cast<size_t>(state.range(0));
+  Bytes buffer(M * length);
+  for (auto _ : state) {
+    streams.Keystream(buffer.data(), length, length);
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(M * length));
+}
+BENCHMARK_TEMPLATE(BM_Rc4MultiKeystream, 4)->Arg(256);
+BENCHMARK_TEMPLATE(BM_Rc4MultiKeystream, 8)->Arg(256)->Arg(4096);
+BENCHMARK_TEMPLATE(BM_Rc4MultiKeystream, 16)->Arg(256);
+BENCHMARK_TEMPLATE(BM_Rc4MultiKeystream, 32)->Arg(256);
 
 void BM_AesCtr(benchmark::State& state) {
   Aes128Ctr ctr(RandomBytes(16, 3));
@@ -171,12 +213,14 @@ void BM_SparseDoubleByteLikelihood(benchmark::State& state) {
 BENCHMARK(BM_SparseDoubleByteLikelihood);
 
 // Sharded keystream-statistics engine: the dataset hot path under every
-// attack scenario. Arg is the shard count (0 = all cores); items/sec is
-// keystreams/sec. bench_engine_sharded reports the full sweep.
+// attack scenario. Args are {shard count (0 = all cores), interleave
+// (1 = scalar, 0 = auto)}; items/sec is keystreams/sec.
+// bench_engine_sharded reports the full scalar-vs-interleaved sweep.
 void BM_EngineSingleByteStats(benchmark::State& state) {
   EngineOptions options;
   options.keys = 1 << 14;
   options.workers = static_cast<unsigned>(state.range(0));
+  options.interleave = static_cast<size_t>(state.range(1));
   options.seed = 19;
   for (auto _ : state) {
     SingleByteAccumulator accumulator(256);
@@ -185,12 +229,13 @@ void BM_EngineSingleByteStats(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * options.keys);
 }
-BENCHMARK(BM_EngineSingleByteStats)->Arg(1)->Arg(0);
+BENCHMARK(BM_EngineSingleByteStats)->Args({1, 1})->Args({1, 0})->Args({0, 0});
 
 void BM_EngineDigraphStats(benchmark::State& state) {
   EngineOptions options;
   options.keys = 1 << 14;
   options.workers = static_cast<unsigned>(state.range(0));
+  options.interleave = static_cast<size_t>(state.range(1));
   options.seed = 20;
   for (auto _ : state) {
     ConsecutiveAccumulator accumulator(256);
@@ -199,7 +244,7 @@ void BM_EngineDigraphStats(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * options.keys);
 }
-BENCHMARK(BM_EngineDigraphStats)->Arg(1)->Arg(0);
+BENCHMARK(BM_EngineDigraphStats)->Args({1, 1})->Args({1, 0})->Args({0, 0});
 
 // Candidate generation throughput (paper: 20000 cookies tested per second,
 // dominated by candidate generation + HTTP pipelining).
@@ -218,7 +263,43 @@ void BM_LazyCandidateEnumeration(benchmark::State& state) {
 }
 BENCHMARK(BM_LazyCandidateEnumeration);
 
+// Console output as usual, while collecting every run into
+// BENCH_throughput.json: per benchmark the real ns/iter plus the rate
+// counters (items_per_second / bytes_per_second) google-benchmark computed.
+class TrajectoryReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit TrajectoryReporter(bench::JsonTrajectory& json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) {
+        continue;
+      }
+      const std::string name = run.benchmark_name();
+      json_.Add(name + "/real_ns", run.GetAdjustedRealTime());
+      for (const auto& [counter, value] : run.counters) {
+        json_.Add(name + "/" + counter, static_cast<double>(value));
+      }
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+ private:
+  bench::JsonTrajectory& json_;
+};
+
 }  // namespace
 }  // namespace rc4b
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  rc4b::bench::JsonTrajectory json("throughput");
+  rc4b::TrajectoryReporter reporter(json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  json.Write();
+  return 0;
+}

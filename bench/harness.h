@@ -6,9 +6,14 @@
 #ifndef BENCH_HARNESS_H_
 #define BENCH_HARNESS_H_
 
+#include <array>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace rc4b::bench {
 
@@ -22,6 +27,102 @@ inline void PrintHeader(const std::string& experiment, const std::string& paper_
   }
   std::printf("==============================================================\n");
 }
+
+// Machine-readable perf trajectory: each bench binary writes one
+// BENCH_<name>.json per run next to its stdout table (or into
+// $RC4B_BENCH_JSON_DIR when set), so CI can upload the numbers as artifacts
+// and the trajectory can be diffed across commits. The format is one flat
+// JSON object: bench name, git revision, wall seconds since construction,
+// then every metric added by the binary (ks/s, trials/s, threads, ...).
+class JsonTrajectory {
+ public:
+  explicit JsonTrajectory(std::string bench_name)
+      : bench_name_(std::move(bench_name)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void Add(const std::string& key, double value) {
+    std::array<char, 64> buffer;
+    std::snprintf(buffer.data(), buffer.size(), "%.6g", value);
+    entries_.emplace_back(key, buffer.data());
+  }
+
+  void Add(const std::string& key, uint64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+
+  void Add(const std::string& key, const std::string& value) {
+    std::string quoted;
+    quoted.push_back('"');
+    quoted.append(Escaped(value));
+    quoted.push_back('"');
+    entries_.emplace_back(key, quoted);
+  }
+
+  // Writes BENCH_<name>.json; returns false (after a warning on stderr) if
+  // the file cannot be written so benches never fail on a read-only cwd.
+  bool Write() const {
+    std::string dir;
+    if (const char* env = std::getenv("RC4B_BENCH_JSON_DIR")) {
+      dir = std::string(env) + "/";
+    }
+    const std::string path = dir + "BENCH_" + bench_name_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"git_rev\": \"%s\",\n"
+                 "  \"wall_s\": %.3f",
+                 Escaped(bench_name_).c_str(), Escaped(GitRevision()).c_str(),
+                 wall_s);
+    for (const auto& [key, value] : entries_) {
+      std::fprintf(out, ",\n  \"%s\": %s", Escaped(key).c_str(), value.c_str());
+    }
+    std::fprintf(out, "\n}\n");
+    std::fclose(out);
+    std::printf("\nwrote %s\n", path.c_str());
+    return true;
+  }
+
+  // Current commit: $GITHUB_SHA when CI exports it, otherwise `git
+  // rev-parse`, otherwise "unknown" (never fails).
+  static std::string GitRevision() {
+    if (const char* sha = std::getenv("GITHUB_SHA")) {
+      return sha;
+    }
+    std::string rev;
+    if (std::FILE* pipe = popen("git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
+      std::array<char, 64> buffer{};
+      if (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+        rev = buffer.data();
+        while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+          rev.pop_back();
+        }
+      }
+      pclose(pipe);
+    }
+    return rev.empty() ? "unknown" : rev;
+  }
+
+ private:
+  static std::string Escaped(const std::string& raw) {
+    std::string out;
+    for (const char c : raw) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 // Significance annotation for a measured vs. expected deviation.
 inline const char* Stars(double z) {

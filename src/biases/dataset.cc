@@ -19,6 +19,7 @@ EngineOptions ToEngineOptions(const DatasetOptions& options) {
   engine.keys = options.keys;
   engine.workers = options.workers;
   engine.seed = options.seed;
+  engine.interleave = options.interleave;
   return engine;
 }
 
@@ -29,6 +30,7 @@ LongTermEngineOptions ToLongTermOptions(const LongTermOptions& options) {
   engine.drop = options.drop;
   engine.workers = options.workers;
   engine.seed = options.seed;
+  engine.interleave = options.interleave;
   // 64 KiB windows; the engine consumes every whole 256-byte block of
   // bytes_per_key regardless of the window size.
   return engine;

@@ -25,6 +25,9 @@ struct DatasetOptions {
   // number k of that stream, so counts are bit-identical for any `workers`
   // (see src/engine/keystream_engine.h).
   uint64_t seed = 1;
+  // RC4 streams generated in lockstep (0 = auto, 1 = scalar); counts are
+  // bit-identical for any width — see EngineOptions::interleave.
+  size_t interleave = 0;
 };
 
 // Single-byte statistics: counts of Z_r for 1 <= r <= positions.
@@ -50,6 +53,7 @@ struct LongTermOptions {
   uint64_t drop = 1024;  // paper drops the initial 1023 bytes; we drop 1024
   unsigned workers = 0;
   uint64_t seed = 1;  // shared AES-CTR stream seed (worker-count invariant)
+  size_t interleave = 0;  // lockstep stream count (0 = auto, 1 = scalar)
 };
 DigraphGrid GenerateLongTermDigraphDataset(const LongTermOptions& options);
 

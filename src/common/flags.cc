@@ -80,7 +80,10 @@ bool FlagSet::GetBool(const std::string& name) const {
 FlagSet& DefineScaleFlags(FlagSet& flags, const ScaleFlagSpec& spec) {
   return flags.Define(spec.count_flag, spec.count_default, spec.count_help)
       .Define(spec.workers_flag, "0", spec.workers_help)
-      .Define("seed", spec.seed_default, spec.seed_help);
+      .Define("seed", spec.seed_default, spec.seed_help)
+      .Define("interleave", "0",
+              "RC4 streams per lockstep group (0 = auto, 1 = scalar; "
+              "rounds down to a supported width)");
 }
 
 ScaleFlagValues GetScaleFlags(const FlagSet& flags, const ScaleFlagSpec& spec) {
@@ -88,6 +91,7 @@ ScaleFlagValues GetScaleFlags(const FlagSet& flags, const ScaleFlagSpec& spec) {
   values.count = flags.GetUint(spec.count_flag);
   values.workers = static_cast<unsigned>(flags.GetUint(spec.workers_flag));
   values.seed = flags.GetUint("seed");
+  values.interleave = static_cast<size_t>(flags.GetUint("interleave"));
   return values;
 }
 

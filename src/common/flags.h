@@ -44,9 +44,13 @@ class FlagSet {
 // Shared scale/parallelism flag conventions of the bench and example
 // binaries: a count flag (--keys for dataset generators, --sims for
 // Monte-Carlo harnesses, --trials for scenario runs), a worker-count flag
-// (--workers, or --threads where the binary sweeps worker counts itself)
-// and --seed. bench/harness.h shares the printing; these helpers share the
-// parsing, so every binary spells the common knobs the same way.
+// (--workers, or --threads where the binary sweeps worker counts itself),
+// --seed, and --interleave (EngineOptions::interleave: RC4 streams
+// generated in lockstep, 0 = auto, 1 = scalar — results are bit-identical
+// for any width, so it is purely a perf knob; binaries that never touch the
+// keystream engine accept and ignore it for flag uniformity).
+// bench/harness.h shares the printing; these helpers share the parsing, so
+// every binary spells the common knobs the same way.
 struct ScaleFlagSpec {
   std::string count_flag = "keys";
   std::string count_default;
@@ -61,13 +65,14 @@ struct ScaleFlagValues {
   uint64_t count = 0;
   unsigned workers = 0;
   uint64_t seed = 0;
+  size_t interleave = 0;
 };
 
-// Registers the spec's three flags on `flags`; returns `flags` for chaining
+// Registers the spec's four flags on `flags`; returns `flags` for chaining
 // additional binary-specific Define calls.
 FlagSet& DefineScaleFlags(FlagSet& flags, const ScaleFlagSpec& spec);
 
-// Reads the three values back after Parse().
+// Reads the four values back after Parse().
 ScaleFlagValues GetScaleFlags(const FlagSet& flags, const ScaleFlagSpec& spec);
 
 }  // namespace rc4b

@@ -51,10 +51,13 @@ class SingleByteShardSink : public TileShardSink {
       : TileShardSink(positions * 256), positions_(positions) {}
 
   void Consume(const KeystreamBatch& batch) override {
-    for (size_t r = 0; r < batch.rows; ++r) {
-      const uint8_t* keystream = batch.Row(r).data();
-      for (size_t pos = 0; pos < positions_; ++pos) {
-        tile_.Add(pos * 256 + keystream[pos]);
+    // Position-major: all rows hit one 256-cell tile region before moving
+    // on, so the working set per step is a few cache lines instead of the
+    // whole tile (the add order changes, the counts cannot).
+    for (size_t pos = 0; pos < positions_; ++pos) {
+      const uint8_t* column = batch.data + pos;
+      for (size_t r = 0; r < batch.rows; ++r) {
+        tile_.Add(pos * 256 + column[r * batch.length]);
       }
     }
     CountKeysAndMaybeFlush(batch.rows);
@@ -70,11 +73,21 @@ class ConsecutiveShardSink : public TileShardSink {
       : TileShardSink(positions * 65536), positions_(positions) {}
 
   void Consume(const KeystreamBatch& batch) override {
-    for (size_t r = 0; r < batch.rows; ++r) {
-      const uint8_t* keystream = batch.Row(r).data();
-      for (size_t pos = 0; pos < positions_; ++pos) {
-        tile_.Add(pos * 65536 + static_cast<size_t>(keystream[pos]) * 256 +
-                  keystream[pos + 1]);
+    // Position-major (see SingleByteShardSink): for a 256-position digraph
+    // tile the row-major order walked ~33 MB per key; this keeps each
+    // position's 128 KB region hot for the whole batch. Cells are still
+    // random within the region, so prefetch a few rows ahead.
+    constexpr size_t kPrefetchRows = 16;
+    for (size_t pos = 0; pos < positions_; ++pos) {
+      const uint8_t* column = batch.data + pos;
+      for (size_t r = 0; r < batch.rows; ++r) {
+        if (r + kPrefetchRows < batch.rows) {
+          const uint8_t* ahead = column + (r + kPrefetchRows) * batch.length;
+          tile_.Prefetch(pos * 65536 + static_cast<size_t>(ahead[0]) * 256 +
+                         ahead[1]);
+        }
+        const uint8_t* pair = column + r * batch.length;
+        tile_.Add(pos * 65536 + static_cast<size_t>(pair[0]) * 256 + pair[1]);
       }
     }
     CountKeysAndMaybeFlush(batch.rows);
@@ -90,12 +103,14 @@ class PairShardSink : public TileShardSink {
       : TileShardSink(pairs.size() * 65536), pairs_(pairs) {}
 
   void Consume(const KeystreamBatch& batch) override {
-    for (size_t r = 0; r < batch.rows; ++r) {
-      const uint8_t* keystream = batch.Row(r).data();
-      for (size_t p = 0; p < pairs_.size(); ++p) {
-        tile_.Add(p * 65536 +
-                  static_cast<size_t>(keystream[pairs_[p].first - 1]) * 256 +
-                  keystream[pairs_[p].second - 1]);
+    // Pair-major for the same cache reasons as the other short-term sinks.
+    for (size_t p = 0; p < pairs_.size(); ++p) {
+      const size_t a = pairs_[p].first - 1;
+      const size_t b = pairs_[p].second - 1;
+      for (size_t r = 0; r < batch.rows; ++r) {
+        const uint8_t* keystream = batch.data + r * batch.length;
+        tile_.Add(p * 65536 + static_cast<size_t>(keystream[a]) * 256 +
+                  keystream[b]);
       }
     }
     CountKeysAndMaybeFlush(batch.rows);

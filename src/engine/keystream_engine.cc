@@ -4,19 +4,219 @@
 #include <cassert>
 #include <cstring>
 #include <mutex>
-#include <vector>
 
 #include "src/common/thread_pool.h"
 #include "src/rc4/keygen.h"
 #include "src/rc4/rc4.h"
+#include "src/rc4/rc4_multi.h"
 #include "src/stats/counters.h"
 
 namespace rc4b {
 
+namespace {
+
+constexpr size_t kKeySize = Rc4KeyGenerator::kRc4KeySize;
+
+// Draws M keys, in keygen order, into one flat buffer for an interleaved KSA.
+template <size_t M>
+std::array<uint8_t, M * kKeySize> GatherKeys(Rc4KeyGenerator& keygen) {
+  std::array<uint8_t, M * kKeySize> keys;
+  for (size_t m = 0; m < M; ++m) {
+    const auto key = keygen.NextKey();
+    std::copy(key.begin(), key.end(), keys.begin() + m * kKeySize);
+  }
+  return keys;
+}
+
+// ------------------------------------------------------------------------
+// Short-term batch generation.
+
+// Scalar path (interleave == 1) and the tail of every interleaved group
+// sweep: the pre-kernel reference the bit-exactness tests and benches
+// compare against.
+void FillRowsScalar(Rc4KeyGenerator& keygen, uint64_t drop, uint8_t* out,
+                    size_t rows, size_t length) {
+  for (size_t r = 0; r < rows; ++r) {
+    Rc4 rc4(keygen.NextKey());
+    if (drop != 0) {
+      rc4.Skip(drop);
+    }
+    rc4.Keystream(std::span<uint8_t>(out + r * length, length));
+  }
+}
+
+// Fills rows [0, rows) of the row-major batch buffer with one keystream per
+// key: groups of M rows via the interleaved kernel (stream m stores straight
+// into row m with stride `length`), then a scalar tail for rows % M. Key
+// order matches the keygen draw order, so the batch is byte-identical to the
+// scalar path for every M.
+template <size_t M>
+void FillRowsInterleaved(Rc4KeyGenerator& keygen, uint64_t drop, uint8_t* out,
+                         size_t rows, size_t length) {
+  size_t r = 0;
+  for (; r + M <= rows; r += M) {
+    const auto keys = GatherKeys<M>(keygen);
+    Rc4MultiStream<M> streams(keys, kKeySize);
+    if (drop != 0) {
+      streams.Skip(drop);
+    }
+    streams.Keystream(out + r * length, length, length);
+  }
+  FillRowsScalar(keygen, drop, out + r * length, rows - r, length);
+}
+
+void FillRows(size_t interleave, Rc4KeyGenerator& keygen, uint64_t drop,
+              uint8_t* out, size_t rows, size_t length) {
+  switch (interleave) {
+    case 32:
+      FillRowsInterleaved<32>(keygen, drop, out, rows, length);
+      break;
+    case 16:
+      FillRowsInterleaved<16>(keygen, drop, out, rows, length);
+      break;
+    case 8:
+      FillRowsInterleaved<8>(keygen, drop, out, rows, length);
+      break;
+    case 4:
+      FillRowsInterleaved<4>(keygen, drop, out, rows, length);
+      break;
+    case 2:
+      FillRowsInterleaved<2>(keygen, drop, out, rows, length);
+      break;
+    default:
+      FillRowsScalar(keygen, drop, out, rows, length);
+      break;
+  }
+}
+
+// ------------------------------------------------------------------------
+// Long-term streaming generation.
+
+struct StreamPlan {
+  size_t chunk = 0;
+  size_t lookahead = 0;
+  uint64_t full_chunks = 0;
+  size_t tail = 0;
+  uint64_t drop = 0;  // options.drop + accumulator.ExtraDrop(), hoisted
+};
+
+// One key, scalar: prime the lookahead, then slide overlapping windows.
+// `buffer` is one stream row of chunk + lookahead bytes.
+void StreamKeyScalar(Rc4& rc4, StreamShardSink& sink, const StreamPlan& plan,
+                     uint8_t* buffer) {
+  sink.BeginKey();
+  rc4.Keystream(std::span<uint8_t>(buffer, plan.lookahead));
+  for (uint64_t c = 0; c < plan.full_chunks; ++c) {
+    rc4.Keystream(std::span<uint8_t>(buffer + plan.lookahead, plan.chunk));
+    sink.ConsumeChunk(
+        std::span<const uint8_t>(buffer, plan.chunk + plan.lookahead),
+        plan.chunk);
+    if (plan.lookahead != 0) {
+      std::memmove(buffer, buffer + plan.chunk, plan.lookahead);
+    }
+  }
+  if (plan.tail != 0) {
+    rc4.Keystream(std::span<uint8_t>(buffer + plan.lookahead, plan.tail));
+    sink.ConsumeChunk(
+        std::span<const uint8_t>(buffer, plan.tail + plan.lookahead),
+        plan.tail);
+  }
+}
+
+// `count` keys through one sink, one at a time on the scalar path — also
+// the remainder loop after interleaved groups.
+void StreamKeysScalar(Rc4KeyGenerator& keygen, StreamShardSink& sink,
+                      uint64_t count, const StreamPlan& plan, uint8_t* buffer) {
+  for (uint64_t k = 0; k < count; ++k) {
+    Rc4 rc4(keygen.NextKey());
+    if (plan.drop != 0) {
+      rc4.Skip(plan.drop);
+    }
+    StreamKeyScalar(rc4, sink, plan, buffer);
+  }
+}
+
+// `count` keys through one sink: groups of M keys generated in lockstep into
+// M chunk buffers (rows of `buffer`, stride chunk + lookahead), windows
+// delivered round-robin in key order (see the StreamShardSink ordering note
+// in keystream_engine.h), then a scalar remainder for count % M keys.
+template <size_t M>
+void StreamKeysInterleaved(Rc4KeyGenerator& keygen, StreamShardSink& sink,
+                           uint64_t count, const StreamPlan& plan,
+                           uint8_t* buffer) {
+  const size_t stride = plan.chunk + plan.lookahead;
+  uint64_t k = 0;
+  for (; k + M <= count; k += M) {
+    const auto keys = GatherKeys<M>(keygen);
+    Rc4MultiStream<M> streams(keys, kKeySize);
+    if (plan.drop != 0) {
+      streams.Skip(plan.drop);
+    }
+    for (size_t m = 0; m < M; ++m) {
+      sink.BeginKey();
+    }
+    streams.Keystream(buffer, plan.lookahead, stride);
+    for (uint64_t c = 0; c < plan.full_chunks; ++c) {
+      streams.Keystream(buffer + plan.lookahead, plan.chunk, stride);
+      for (size_t m = 0; m < M; ++m) {
+        sink.ConsumeChunk(std::span<const uint8_t>(buffer + m * stride,
+                                                   plan.chunk + plan.lookahead),
+                          plan.chunk);
+      }
+      if (plan.lookahead != 0) {
+        for (size_t m = 0; m < M; ++m) {
+          std::memmove(buffer + m * stride, buffer + m * stride + plan.chunk,
+                       plan.lookahead);
+        }
+      }
+    }
+    if (plan.tail != 0) {
+      streams.Keystream(buffer + plan.lookahead, plan.tail, stride);
+      for (size_t m = 0; m < M; ++m) {
+        sink.ConsumeChunk(std::span<const uint8_t>(buffer + m * stride,
+                                                   plan.tail + plan.lookahead),
+                          plan.tail);
+      }
+    }
+  }
+  StreamKeysScalar(keygen, sink, count - k, plan, buffer);
+}
+
+void StreamKeys(size_t interleave, Rc4KeyGenerator& keygen,
+                StreamShardSink& sink, uint64_t count, const StreamPlan& plan,
+                uint8_t* buffer) {
+  switch (interleave) {
+    case 32:
+      StreamKeysInterleaved<32>(keygen, sink, count, plan, buffer);
+      break;
+    case 16:
+      StreamKeysInterleaved<16>(keygen, sink, count, plan, buffer);
+      break;
+    case 8:
+      StreamKeysInterleaved<8>(keygen, sink, count, plan, buffer);
+      break;
+    case 4:
+      StreamKeysInterleaved<4>(keygen, sink, count, plan, buffer);
+      break;
+    case 2:
+      StreamKeysInterleaved<2>(keygen, sink, count, plan, buffer);
+      break;
+    default:
+      StreamKeysScalar(keygen, sink, count, plan, buffer);
+      break;
+  }
+}
+
+}  // namespace
+
 void RunKeystreamEngine(const EngineOptions& options, BiasAccumulator& accumulator) {
   const size_t length = accumulator.KeystreamLength();
   assert(length > 0);
-  const size_t batch_keys = std::max<size_t>(options.batch_keys, 1);
+  const size_t interleave = ResolveInterleave(options.interleave);
+  // Batches hold at least one interleave group so the kernel engages even
+  // with tiny batch_keys settings; counts are batch-size invariant either way.
+  const size_t batch_keys =
+      std::max<size_t>(std::max<size_t>(options.batch_keys, 1), interleave);
   std::mutex merge_mutex;
   ParallelChunks(options.keys, options.workers,
                  [&](unsigned /*shard*/, uint64_t begin, uint64_t end) {
@@ -34,13 +234,7 @@ void RunKeystreamEngine(const EngineOptions& options, BiasAccumulator& accumulat
     for (uint64_t k = begin; k < end;) {
       const size_t rows =
           static_cast<size_t>(std::min<uint64_t>(batch_keys, end - k));
-      for (size_t r = 0; r < rows; ++r) {
-        Rc4 rc4(keygen.NextKey());
-        if (options.drop != 0) {
-          rc4.Skip(options.drop);
-        }
-        rc4.Keystream(std::span<uint8_t>(buffer.data() + r * length, length));
-      }
+      FillRows(interleave, keygen, options.drop, buffer.data(), rows, length);
       sink->Consume(KeystreamBatch{buffer.data(), rows, length});
       k += rows;
     }
@@ -51,15 +245,18 @@ void RunKeystreamEngine(const EngineOptions& options, BiasAccumulator& accumulat
 
 void RunLongTermEngine(const LongTermEngineOptions& options,
                        StreamAccumulator& accumulator) {
-  const size_t lookahead = accumulator.Lookahead();
-  const size_t chunk = std::max<size_t>(options.chunk_bytes, 256);
-  assert(chunk % 256 == 0);
+  StreamPlan plan;
+  plan.lookahead = accumulator.Lookahead();
+  plan.chunk = std::max<size_t>(options.chunk_bytes, 256);
+  assert(plan.chunk % 256 == 0);
   // bytes_per_key rounds down to whole 256-byte blocks only; a trailing
   // window smaller than chunk_bytes is processed separately so the chunk
   // size never changes the sample count.
   const uint64_t owned_per_key = options.bytes_per_key / 256 * 256;
-  const uint64_t full_chunks = owned_per_key / chunk;
-  const size_t tail = static_cast<size_t>(owned_per_key % chunk);
+  plan.full_chunks = owned_per_key / plan.chunk;
+  plan.tail = static_cast<size_t>(owned_per_key % plan.chunk);
+  plan.drop = options.drop + accumulator.ExtraDrop();
+  const size_t interleave = ResolveInterleave(options.interleave);
   std::mutex merge_mutex;
   ParallelChunks(options.keys, options.workers,
                  [&](unsigned /*shard*/, uint64_t begin, uint64_t end) {
@@ -70,27 +267,10 @@ void RunLongTermEngine(const LongTermEngineOptions& options,
       std::lock_guard<std::mutex> lock(merge_mutex);
       sink = accumulator.MakeShard();
     }
-    std::vector<uint8_t> buffer(chunk + lookahead);
-    for (uint64_t k = begin; k < end; ++k) {
-      Rc4 rc4(keygen.NextKey());
-      rc4.Skip(options.drop + accumulator.ExtraDrop());
-      sink->BeginKey();
-      // Prime the lookahead, then slide: each window owns `chunk` positions
-      // and carries `lookahead` context bytes into the next window.
-      rc4.Keystream(std::span<uint8_t>(buffer.data(), lookahead));
-      for (uint64_t c = 0; c < full_chunks; ++c) {
-        rc4.Keystream(std::span<uint8_t>(buffer.data() + lookahead, chunk));
-        sink->ConsumeChunk(buffer, chunk);
-        if (lookahead != 0) {
-          std::memmove(buffer.data(), buffer.data() + chunk, lookahead);
-        }
-      }
-      if (tail != 0) {
-        rc4.Keystream(std::span<uint8_t>(buffer.data() + lookahead, tail));
-        sink->ConsumeChunk(std::span<const uint8_t>(buffer.data(), tail + lookahead),
-                           tail);
-      }
-    }
+    // One chunk-buffer row per lockstep stream, cache-aligned like the
+    // short-term batch buffer.
+    AlignedVector<uint8_t> buffer(interleave * (plan.chunk + plan.lookahead), 0);
+    StreamKeys(interleave, keygen, *sink, end - begin, plan, buffer.data());
     std::lock_guard<std::mutex> lock(merge_mutex);
     accumulator.MergeShard(*sink, end - begin, owned_per_key);
   });

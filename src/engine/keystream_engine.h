@@ -76,7 +76,12 @@ struct EngineOptions {
   unsigned workers = 0;     // shards; 0 = hardware concurrency
   uint64_t seed = 1;        // AES-CTR key-generator seed
   uint64_t drop = 0;        // initial keystream bytes discarded per key
-  size_t batch_keys = 64;   // keystreams per generated batch
+  size_t batch_keys = 256;  // keystreams per generated batch
+  // RC4 streams generated in lockstep (src/rc4/rc4_multi.h): 0 = auto
+  // (kDefaultInterleave), 1 = scalar Rc4, other values round down to the
+  // nearest supported width. Batches are byte-identical for every width —
+  // the kernel only reorders the schedule, never the per-key math.
+  size_t interleave = 0;
 };
 
 // Generates `options.keys` keystreams of accumulator.KeystreamLength() bytes
@@ -93,6 +98,16 @@ void RunKeystreamEngine(const EngineOptions& options, BiasAccumulator& accumulat
 // positions belong to this call; the trailing Lookahead() bytes are context
 // shared with the next window (a digraph or ABSAB pattern starting at an
 // owned position may read up to Lookahead() bytes past it).
+//
+// Window ordering: each key's windows always arrive in stream order, and
+// every window's base offset within its key is a multiple of chunk_bytes
+// (itself a 256-multiple), but with interleave > 1 the engine generates up
+// to `interleave` keys in lockstep and round-robins their windows — window w
+// of key k, then window w of key k+1, ... BeginKey() fires once per key, in
+// key order, when the key's lockstep group starts. Sinks that accumulate
+// commutative per-window counters (all current ones) are unaffected; a sink
+// that needs strictly sequential per-key delivery must be run with
+// LongTermEngineOptions::interleave = 1.
 class StreamShardSink {
  public:
   virtual ~StreamShardSink() = default;
@@ -129,6 +144,9 @@ struct LongTermEngineOptions {
   unsigned workers = 0;
   uint64_t seed = 1;
   size_t chunk_bytes = 1 << 16;  // owned bytes per window (multiple of 256)
+  // Keys generated in lockstep per shard (see EngineOptions::interleave and
+  // the StreamShardSink window-ordering note above). 0 = auto, 1 = scalar.
+  size_t interleave = 0;
 };
 
 // Streams `bytes_per_key` keystream bytes per key (rounded down to whole

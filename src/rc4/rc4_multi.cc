@@ -1,0 +1,18 @@
+#include "src/rc4/rc4_multi.h"
+
+namespace rc4b {
+
+size_t ResolveInterleave(size_t requested) {
+  if (requested == 0) {
+    return kDefaultInterleave;
+  }
+  size_t resolved = 1;
+  for (size_t width : kInterleaveWidths) {
+    if (width <= requested) {
+      resolved = width;
+    }
+  }
+  return resolved;
+}
+
+}  // namespace rc4b

@@ -129,6 +129,7 @@ class SingleByteScenario : public Scenario {
     dataset.keys = OrDefault(params.model_keys, config_.default_model_keys);
     dataset.workers = params.workers;
     dataset.seed = sim::TrialSeed(params.seed, kModelStream);
+    dataset.interleave = params.interleave;
     const SingleByteGrid grid = GenerateSingleByteDataset(last, dataset);
 
     std::vector<std::vector<double>> probs(length);

@@ -31,6 +31,10 @@ struct ScenarioParams {
   uint64_t samples = 0;     // captured frames / requests per trial
   uint64_t budget = 0;      // candidate / brute-force attempt budget
   uint64_t model_keys = 0;  // attacker-model scale (keys per class / total)
+  // RC4 lockstep width for engine-backed scenario setup (0 = auto,
+  // 1 = scalar; see EngineOptions::interleave). Outcomes are bit-identical
+  // for any width — this is a perf/diagnosis knob only.
+  size_t interleave = 0;
 };
 
 // Per-scenario aggregate, folded in trial order (bit-exact for any

@@ -155,6 +155,11 @@ class WorkerTile {
 
   void Add(size_t cell) { ++counts_[cell]; }
 
+  // Hints the prefetcher at a cell that Add() will touch shortly. Counter
+  // cells are data-dependent random accesses, so a short software-prefetch
+  // pipeline hides most of their cache/TLB latency in the consume loops.
+  void Prefetch(size_t cell) const { __builtin_prefetch(&counts_[cell], 1); }
+
   // Adds all counts into `out[cell]` and zeroes the tile. The 32-bit form is
   // for shard-local spill blocks (per-cell shard totals must stay < 2^32).
   void FlushInto(std::span<uint64_t> out);

@@ -1,0 +1,134 @@
+#include "src/rc4/rc4_multi.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/rc4/rc4.h"
+
+namespace rc4b {
+namespace {
+
+// The kernel's whole contract: stream m of Rc4MultiStream<M> is bit-identical
+// to a scalar Rc4 over the same key, for every supported width, any length,
+// and any drop. The engine's batch/grid bit-exactness rests on this.
+
+Bytes RandomKeys(size_t count, size_t key_size, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Bytes keys(count * key_size);
+  rng.Fill(keys);
+  return keys;
+}
+
+Bytes ScalarReference(std::span<const uint8_t> key, uint64_t drop, size_t length) {
+  Rc4 rc4(key);
+  rc4.Skip(drop);
+  Bytes out(length);
+  rc4.Keystream(out);
+  return out;
+}
+
+template <size_t M>
+void ExpectMatchesScalar(size_t key_size, uint64_t drop, size_t length,
+                         uint64_t seed) {
+  const Bytes keys = RandomKeys(M, key_size, seed);
+  Rc4MultiStream<M> streams(keys, key_size);
+  if (drop != 0) {
+    streams.Skip(drop);
+  }
+  Bytes batch(M * length);
+  streams.Keystream(batch.data(), length, length);
+  for (size_t m = 0; m < M; ++m) {
+    const auto key = std::span<const uint8_t>(keys).subspan(m * key_size, key_size);
+    const Bytes expected = ScalarReference(key, drop, length);
+    const Bytes actual(batch.begin() + m * length, batch.begin() + (m + 1) * length);
+    ASSERT_EQ(actual, expected) << "M=" << M << " stream=" << m
+                                << " drop=" << drop << " length=" << length;
+  }
+}
+
+template <size_t M>
+void SweepLengthsAndDrops(uint64_t seed) {
+  // Lengths cover the paper's workloads: 1-byte grids, first16, consec512
+  // rows (256/513) crossing the i-counter wrap; drops cover RC4-drop[n] and
+  // the long-term engine's 256-aligned discard.
+  for (const size_t length : {size_t{1}, size_t{16}, size_t{256}, size_t{513}}) {
+    ExpectMatchesScalar<M>(16, 0, length, seed ^ length);
+  }
+  for (const uint64_t drop : {uint64_t{1}, uint64_t{256}, uint64_t{1024}}) {
+    ExpectMatchesScalar<M>(16, drop, 64, seed ^ (drop << 16));
+  }
+}
+
+TEST(Rc4MultiStreamTest, MatchesScalarForEverySupportedWidth) {
+  SweepLengthsAndDrops<2>(1);
+  SweepLengthsAndDrops<4>(2);
+  SweepLengthsAndDrops<8>(3);
+  SweepLengthsAndDrops<16>(4);
+  SweepLengthsAndDrops<32>(5);
+}
+
+TEST(Rc4MultiStreamTest, ShortKeysMatchScalar) {
+  // The KSA cycles the key; non-16-byte uniform key sizes must still match.
+  ExpectMatchesScalar<8>(5, 0, 256, 7);
+  ExpectMatchesScalar<8>(3, 17, 40, 8);
+}
+
+TEST(Rc4MultiStreamTest, SplitGenerationCarriesState) {
+  // Keystream() in several calls must equal one shot: the engine generates
+  // long-term streams window by window from one kernel instance.
+  constexpr size_t kStreams = 16;
+  const Bytes keys = RandomKeys(kStreams, 16, 11);
+  Rc4MultiStream<kStreams> one_shot(keys, 16);
+  Bytes full(kStreams * 513);
+  one_shot.Keystream(full.data(), 513, 513);
+
+  Rc4MultiStream<kStreams> split(keys, 16);
+  Bytes pieces(kStreams * 513);
+  size_t offset = 0;
+  for (const size_t piece : {size_t{1}, size_t{255}, size_t{257}}) {
+    // Stride stays the full row so rows stay parallel across calls.
+    split.Keystream(pieces.data() + offset, piece, 513);
+    offset += piece;
+  }
+  EXPECT_EQ(pieces, full);
+}
+
+TEST(Rc4MultiStreamTest, StridedStoresStayInsideRows) {
+  // stride > length: bytes past `length` in each row must be untouched —
+  // this is where a strided-store off-by-one would corrupt neighbor rows.
+  constexpr size_t kStreams = 8;
+  constexpr size_t kLength = 33;
+  constexpr size_t kStride = 48;
+  const Bytes keys = RandomKeys(kStreams, 16, 13);
+  Bytes batch(kStreams * kStride, 0xAA);
+  Rc4MultiStream<kStreams> streams(keys, 16);
+  streams.Keystream(batch.data(), kLength, kStride);
+  for (size_t m = 0; m < kStreams; ++m) {
+    const auto key = std::span<const uint8_t>(keys).subspan(m * 16, 16);
+    const Bytes expected = ScalarReference(key, 0, kLength);
+    for (size_t t = 0; t < kLength; ++t) {
+      ASSERT_EQ(batch[m * kStride + t], expected[t]) << "m=" << m << " t=" << t;
+    }
+    for (size_t t = kLength; t < kStride; ++t) {
+      ASSERT_EQ(batch[m * kStride + t], 0xAA) << "m=" << m << " t=" << t;
+    }
+  }
+}
+
+TEST(Rc4MultiStreamTest, ResolveInterleaveRoundsDownToSupportedWidths) {
+  EXPECT_EQ(ResolveInterleave(0), kDefaultInterleave);
+  EXPECT_EQ(ResolveInterleave(1), 1u);
+  EXPECT_EQ(ResolveInterleave(2), 2u);
+  EXPECT_EQ(ResolveInterleave(3), 2u);
+  EXPECT_EQ(ResolveInterleave(12), 8u);
+  EXPECT_EQ(ResolveInterleave(16), 16u);
+  EXPECT_EQ(ResolveInterleave(31), 16u);
+  EXPECT_EQ(ResolveInterleave(32), 32u);
+  EXPECT_EQ(ResolveInterleave(1000), 32u);
+}
+
+}  // namespace
+}  // namespace rc4b
