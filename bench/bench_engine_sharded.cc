@@ -109,15 +109,15 @@ int Run(int argc, char** argv) {
               static_cast<unsigned long long>(keys), positions, threads,
               DefaultWorkerCount(), interleave);
 
+  EngineOptions base;
+  base.keys = keys;
+  base.seed = seed;
+
   bench::JsonTrajectory json("engine_sharded");
   json.Add("keys", static_cast<uint64_t>(keys));
   json.Add("positions", static_cast<uint64_t>(positions));
   json.Add("threads", static_cast<uint64_t>(threads));
-  json.Add("interleave", static_cast<uint64_t>(interleave));
-
-  EngineOptions base;
-  base.keys = keys;
-  base.seed = seed;
+  json.RecordScale(interleave, base.batch_keys);
 
   bool exact = RunMode("single-byte", base, threads, interleave, json,
                        [&] { return SingleByteAccumulator(positions); });

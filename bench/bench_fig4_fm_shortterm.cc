@@ -33,7 +33,10 @@ int Run(int argc, char** argv) {
   FlagSet flags("Fig. 4: FM digraph relative biases in initial keystream bytes");
   DefineScaleFlags(flags, scale)
       .Define("positions", "288", "initial positions to cover")
-      .Define("window", "32", "positions averaged per reported point");
+      .Define("window", "32", "positions averaged per reported point")
+      .Define("grid-cache", "",
+              "warm-start: load-or-store the dataset grid in this directory "
+              "(docs/store.md)");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
@@ -46,6 +49,7 @@ int Run(int argc, char** argv) {
   options.workers = workers;
   options.seed = seed;
   options.interleave = interleave;
+  options.cache_dir = flags.GetString("grid-cache");
 
   bench::PrintHeader("bench_fig4_fm_shortterm",
                      "Fig. 4 (FM digraphs vs expected single-byte probability)",

@@ -22,7 +22,10 @@ int Run(int argc, char** argv) {
                             .seed_help = "dataset seed"};
   FlagSet flags("Fig. 6: single-byte biases beyond position 256");
   DefineScaleFlags(flags, scale)
-      .Define("positions", "513", "positions covered");
+      .Define("positions", "513", "positions covered")
+      .Define("grid-cache", "",
+              "warm-start: load-or-store the dataset grid in this directory "
+              "(docs/store.md)");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
@@ -33,6 +36,7 @@ int Run(int argc, char** argv) {
   options.workers = workers;
   options.seed = seed;
   options.interleave = interleave;
+  options.cache_dir = flags.GetString("grid-cache");
   const size_t positions = flags.GetUint("positions");
 
   bench::PrintHeader("bench_fig6_singlebyte_beyond256",

@@ -39,7 +39,10 @@ int Run(int argc, char** argv) {
               "captured frames/requests per trial (0 = scenario default)")
       .Define("budget", "0", "candidate budget (0 = scenario default)")
       .Define("model-keys", "0",
-              "attacker-model scale (0 = scenario default)");
+              "attacker-model scale (0 = scenario default)")
+      .Define("grid-cache", "",
+              "warm-start engine-backed scenarios from stored grids in this "
+              "directory (docs/store.md)");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
@@ -74,6 +77,7 @@ int Run(int argc, char** argv) {
   params.samples = flags.GetUint("samples");
   params.budget = flags.GetUint("budget");
   params.model_keys = flags.GetUint("model-keys");
+  params.grid_cache = flags.GetString("grid-cache");
 
   bench::PrintHeader(
       "bench_scenarios",

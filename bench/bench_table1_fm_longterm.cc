@@ -23,7 +23,10 @@ int Run(int argc, char** argv) {
                             .seed_help = "dataset seed"};
   FlagSet flags("Table 1: long-term Fluhrer-McGrew digraph probabilities");
   DefineScaleFlags(flags, scale)
-      .Define("bytes-per-key", "0x4000000", "keystream bytes per key (2^26)");
+      .Define("bytes-per-key", "0x4000000", "keystream bytes per key (2^26)")
+      .Define("grid-cache", "",
+              "warm-start: load-or-store the dataset grid in this directory "
+              "(docs/store.md)");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
@@ -35,6 +38,7 @@ int Run(int argc, char** argv) {
   options.workers = workers;
   options.seed = seed;
   options.interleave = interleave;
+  options.cache_dir = flags.GetString("grid-cache");
 
   const double total_samples =
       static_cast<double>(options.keys) * static_cast<double>(options.bytes_per_key);

@@ -86,7 +86,10 @@ int Run(int argc, char** argv) {
       .seed_default = "7",
       .seed_help = "dataset seed"};
   FlagSet flags("Table 2 + eqs (2)-(5): short-term pair biases");
-  DefineScaleFlags(flags, scale);
+  DefineScaleFlags(flags, scale)
+      .Define("grid-cache", "",
+              "warm-start: load-or-store the dataset grid in this directory "
+              "(docs/store.md)");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
@@ -97,6 +100,7 @@ int Run(int argc, char** argv) {
   options.workers = workers;
   options.seed = seed;
   options.interleave = interleave;
+  options.cache_dir = flags.GetString("grid-cache");
 
   bench::PrintHeader("bench_table2_pair_biases",
                      "Table 2 and eqs (2)-(5) (biases between keystream bytes)",

@@ -15,6 +15,10 @@
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
+#include "src/common/io.h"
+
 namespace rc4b::bench {
 
 inline void PrintHeader(const std::string& experiment, const std::string& paper_ref,
@@ -58,33 +62,54 @@ class JsonTrajectory {
     entries_.emplace_back(key, quoted);
   }
 
-  // Writes BENCH_<name>.json; returns false (after a warning on stderr) if
-  // the file cannot be written so benches never fail on a read-only cwd.
+  // The shared engine-scale knobs, spelled identically across benches so the
+  // trajectory can be compared like-for-like: a point measured with a
+  // different lockstep width or batch size is the same math on a different
+  // schedule (bit-exact results), but not the same perf configuration.
+  void RecordScale(size_t interleave, uint64_t batch_keys) {
+    Add("interleave", static_cast<uint64_t>(interleave));
+    Add("batch_keys", batch_keys);
+  }
+
+  // Writes BENCH_<name>.json atomically (temp file + rename: a nightly-CI
+  // artifact scrape never sees a torn file); returns false (after a warning
+  // on stderr) if the file cannot be written so benches never fail on a
+  // read-only cwd.
   bool Write() const {
     std::string dir;
     if (const char* env = std::getenv("RC4B_BENCH_JSON_DIR")) {
       dir = std::string(env) + "/";
     }
     const std::string path = dir + "BENCH_" + bench_name_ + ".json";
-    std::FILE* out = std::fopen(path.c_str(), "w");
-    if (out == nullptr) {
-      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
-      return false;
-    }
     const double wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
             .count();
-    std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"git_rev\": \"%s\",\n"
-                 "  \"wall_s\": %.3f",
-                 Escaped(bench_name_).c_str(), Escaped(GitRevision()).c_str(),
-                 wall_s);
+    std::array<char, 32> wall_text;
+    std::snprintf(wall_text.data(), wall_text.size(), "%.3f", wall_s);
+    std::string out = "{\n  \"bench\": \"" + Escaped(bench_name_) +
+                      "\",\n  \"git_rev\": \"" + Escaped(GitRevision()) +
+                      "\",\n  \"host\": \"" + Escaped(Hostname()) +
+                      "\",\n  \"wall_s\": " + wall_text.data();
     for (const auto& [key, value] : entries_) {
-      std::fprintf(out, ",\n  \"%s\": %s", Escaped(key).c_str(), value.c_str());
+      out += ",\n  \"" + Escaped(key) + "\": " + value;
     }
-    std::fprintf(out, "\n}\n");
-    std::fclose(out);
+    out += "\n}\n";
+    if (const IoStatus status = WriteFileAtomic(path, out); !status.ok()) {
+      std::fprintf(stderr, "warning: %s\n", status.message().c_str());
+      return false;
+    }
     std::printf("\nwrote %s\n", path.c_str());
     return true;
+  }
+
+  // Machine identity for cross-host trajectory comparisons (a ks/s number is
+  // only comparable to numbers from the same hardware).
+  static std::string Hostname() {
+    std::array<char, 256> buffer{};
+    if (::gethostname(buffer.data(), buffer.size() - 1) != 0) {
+      return "unknown";
+    }
+    return buffer.data();
   }
 
   // Current commit: $GITHUB_SHA when CI exports it, otherwise `git

@@ -4,6 +4,7 @@
 
 #include "src/engine/accumulators.h"
 #include "src/engine/keystream_engine.h"
+#include "src/store/grid_cache.h"
 
 namespace rc4b {
 
@@ -11,8 +12,18 @@ namespace rc4b {
 // (src/engine/): they pick an accumulator, forward the scale knobs, and
 // return the merged grid. The engine guarantees the result is bit-identical
 // for any worker count (keys are indexed globally in one AES-CTR stream).
+//
+// When cache_dir is set (and the request starts at key 0), the grid
+// generators route through store::GridCache instead: load the stored grid if
+// its provenance matches, otherwise generate once and store it back. Shards
+// of a distributed run (first_key != 0) never consult the cache — their
+// slices are keyed by range in the shard manifest instead.
 
 namespace {
+
+bool UseCache(const DatasetOptions& options) {
+  return !options.cache_dir.empty() && options.first_key == 0;
+}
 
 EngineOptions ToEngineOptions(const DatasetOptions& options) {
   EngineOptions engine;
@@ -20,6 +31,7 @@ EngineOptions ToEngineOptions(const DatasetOptions& options) {
   engine.workers = options.workers;
   engine.seed = options.seed;
   engine.interleave = options.interleave;
+  engine.first_key = options.first_key;
   return engine;
 }
 
@@ -31,6 +43,7 @@ LongTermEngineOptions ToLongTermOptions(const LongTermOptions& options) {
   engine.workers = options.workers;
   engine.seed = options.seed;
   engine.interleave = options.interleave;
+  engine.first_key = options.first_key;
   // 64 KiB windows; the engine consumes every whole 256-byte block of
   // bytes_per_key regardless of the window size.
   return engine;
@@ -40,12 +53,20 @@ LongTermEngineOptions ToLongTermOptions(const LongTermOptions& options) {
 
 SingleByteGrid GenerateSingleByteDataset(size_t positions,
                                          const DatasetOptions& options) {
+  if (UseCache(options)) {
+    return store::GridCache(options.cache_dir)
+        .LoadOrGenerateSingleByte(positions, options);
+  }
   SingleByteAccumulator accumulator(positions);
   RunKeystreamEngine(ToEngineOptions(options), accumulator);
   return accumulator.TakeGrid();
 }
 
 DigraphGrid GenerateConsecutiveDataset(size_t positions, const DatasetOptions& options) {
+  if (UseCache(options)) {
+    return store::GridCache(options.cache_dir)
+        .LoadOrGenerateConsecutive(positions, options);
+  }
   ConsecutiveAccumulator accumulator(positions);
   RunKeystreamEngine(ToEngineOptions(options), accumulator);
   return accumulator.TakeGrid();
@@ -53,6 +74,9 @@ DigraphGrid GenerateConsecutiveDataset(size_t positions, const DatasetOptions& o
 
 DigraphGrid GeneratePairDataset(const std::vector<std::pair<uint32_t, uint32_t>>& pairs,
                                 const DatasetOptions& options) {
+  if (UseCache(options)) {
+    return store::GridCache(options.cache_dir).LoadOrGeneratePair(pairs, options);
+  }
   PairAccumulator accumulator(pairs);
   RunKeystreamEngine(ToEngineOptions(options), accumulator);
   return accumulator.TakeGrid();
@@ -60,6 +84,9 @@ DigraphGrid GeneratePairDataset(const std::vector<std::pair<uint32_t, uint32_t>>
 
 DigraphGrid GenerateLongTermDigraphDataset(const LongTermOptions& options) {
   assert(options.drop % 256 == 0);
+  if (!options.cache_dir.empty() && options.first_key == 0) {
+    return store::GridCache(options.cache_dir).LoadOrGenerateLongTermDigraph(options);
+  }
   LongTermDigraphAccumulator accumulator;
   RunLongTermEngine(ToLongTermOptions(options), accumulator);
   return accumulator.TakeGrid();

@@ -11,6 +11,7 @@
 #define SRC_BIASES_DATASET_H_
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -28,6 +29,14 @@ struct DatasetOptions {
   // RC4 streams generated in lockstep (0 = auto, 1 = scalar); counts are
   // bit-identical for any width — see EngineOptions::interleave.
   size_t interleave = 0;
+  // Global index of the first key: the dataset covers keys [first_key,
+  // first_key + keys) of the seed's stream. Nonzero when a shard of a
+  // distributed generation run (src/store/manifest.h) computes its slice.
+  uint64_t first_key = 0;
+  // When set (and first_key == 0), generators load the grid from this
+  // directory instead of regenerating, or generate once and store it —
+  // see store::GridCache. Cached and regenerated grids are bit-identical.
+  std::string cache_dir;
 };
 
 // Single-byte statistics: counts of Z_r for 1 <= r <= positions.
@@ -53,7 +62,9 @@ struct LongTermOptions {
   uint64_t drop = 1024;  // paper drops the initial 1023 bytes; we drop 1024
   unsigned workers = 0;
   uint64_t seed = 1;  // shared AES-CTR stream seed (worker-count invariant)
-  size_t interleave = 0;  // lockstep stream count (0 = auto, 1 = scalar)
+  size_t interleave = 0;   // lockstep stream count (0 = auto, 1 = scalar)
+  uint64_t first_key = 0;  // global key-range offset (see DatasetOptions)
+  std::string cache_dir;   // GridCache directory (digraph dataset only)
 };
 DigraphGrid GenerateLongTermDigraphDataset(const LongTermOptions& options);
 

@@ -1,37 +1,143 @@
 #include "src/common/io.h"
 
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 namespace rc4b {
 
-BinaryWriter::BinaryWriter(const std::string& path) {
-  file_ = std::fopen(path.c_str(), "wb");
+IoStatus IoStatus::FromErrno(std::string_view op, std::string_view path) {
+  std::string message;
+  message.append(op);
+  message.push_back(' ');
+  message.append(path);
+  message.append(": ");
+  message.append(std::strerror(errno));
+  return Fail(std::move(message));
+}
+
+IoStatus WriteFileAtomic(const std::string& path, std::string_view data) {
+  BinaryWriter writer(path);
+  writer.WriteBytes(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(data.data()), data.size()));
+  return writer.Commit();
+}
+
+IoStatus MakeDirs(const std::string& path) {
+  if (path.empty() || path == "/" || path == ".") {
+    return IoStatus::Ok();
+  }
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0) {
+    if (S_ISDIR(st.st_mode)) {
+      return IoStatus::Ok();
+    }
+    return IoStatus::Fail("mkdir " + path + ": exists and is not a directory");
+  }
+  const size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos && slash != 0) {
+    if (IoStatus parent = MakeDirs(path.substr(0, slash)); !parent.ok()) {
+      return parent;
+    }
+  }
+  if (::mkdir(path.c_str(), 0777) != 0 && errno != EEXIST) {
+    return IoStatus::FromErrno("mkdir", path);
+  }
+  return IoStatus::Ok();
+}
+
+// ------------------------------------------------------------------ writer --
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : path_(path), tmp_path_(path + ".tmp") {
+  file_ = std::fopen(tmp_path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = IoStatus::FromErrno("open", tmp_path_);
+  }
 }
 
 BinaryWriter::~BinaryWriter() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
+  if (finished_) {
+    return;
+  }
+  if (status_.ok()) {
+    Commit();  // legacy scope-based usage; errors are unobservable here
+  } else {
+    Abandon();
   }
 }
 
-void BinaryWriter::WriteU64(uint64_t v) {
-  if (file_ != nullptr) {
-    std::fwrite(&v, sizeof(v), 1, file_);
+void BinaryWriter::Write(const void* data, size_t bytes, const char* what) {
+  if (!status_.ok() || finished_ || bytes == 0) {
+    return;
+  }
+  if (std::fwrite(data, 1, bytes, file_) != bytes) {
+    status_ = IoStatus::FromErrno(what, tmp_path_);
   }
 }
+
+void BinaryWriter::WriteU64(uint64_t v) { Write(&v, sizeof(v), "write u64 to"); }
 
 void BinaryWriter::WriteDoubles(std::span<const double> values) {
-  if (file_ != nullptr && !values.empty()) {
-    std::fwrite(values.data(), sizeof(double), values.size(), file_);
-  }
+  Write(values.data(), values.size_bytes(), "write doubles to");
 }
 
 void BinaryWriter::WriteU64s(std::span<const uint64_t> values) {
-  if (file_ != nullptr && !values.empty()) {
-    std::fwrite(values.data(), sizeof(uint64_t), values.size(), file_);
-  }
+  Write(values.data(), values.size_bytes(), "write u64s to");
 }
 
-BinaryReader::BinaryReader(const std::string& path) {
+void BinaryWriter::WriteBytes(std::span<const uint8_t> bytes) {
+  Write(bytes.data(), bytes.size_bytes(), "write bytes to");
+}
+
+IoStatus BinaryWriter::Commit() {
+  if (finished_) {
+    return status_;
+  }
+  if (!status_.ok()) {
+    Abandon();
+    return status_;
+  }
+  if (std::fflush(file_) != 0) {
+    status_ = IoStatus::FromErrno("flush", tmp_path_);
+    Abandon();
+    return status_;
+  }
+  if (std::fclose(file_) != 0) {
+    status_ = IoStatus::FromErrno("close", tmp_path_);
+    file_ = nullptr;
+    Abandon();
+    return status_;
+  }
+  file_ = nullptr;
+  finished_ = true;
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    status_ = IoStatus::FromErrno("rename " + tmp_path_ + " to", path_);
+    std::remove(tmp_path_.c_str());
+  }
+  return status_;
+}
+
+void BinaryWriter::Abandon() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::remove(tmp_path_.c_str());
+  finished_ = true;
+}
+
+// ------------------------------------------------------------------ reader --
+
+BinaryReader::BinaryReader(const std::string& path) : path_(path) {
   file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    status_ = IoStatus::FromErrno("open", path_);
+  }
 }
 
 BinaryReader::~BinaryReader() {
@@ -40,31 +146,87 @@ BinaryReader::~BinaryReader() {
   }
 }
 
+bool BinaryReader::Read(void* out, size_t bytes, const char* what) {
+  if (!status_.ok()) {
+    return false;
+  }
+  if (std::fread(out, 1, bytes, file_) != bytes) {
+    status_ = std::ferror(file_) != 0
+                  ? IoStatus::FromErrno(what, path_)
+                  : IoStatus::Fail(std::string(what) + " " + path_ +
+                                   ": unexpected end of file");
+    return false;
+  }
+  return true;
+}
+
 uint64_t BinaryReader::ReadU64() {
   uint64_t v = 0;
-  if (file_ == nullptr || std::fread(&v, sizeof(v), 1, file_) != 1) {
-    failed_ = true;
-    return 0;
-  }
-  return v;
+  return Read(&v, sizeof(v), "read u64 from") ? v : 0;
 }
 
 bool BinaryReader::ReadDoubles(std::span<double> out) {
-  if (file_ == nullptr ||
-      std::fread(out.data(), sizeof(double), out.size(), file_) != out.size()) {
-    failed_ = true;
-    return false;
-  }
-  return true;
+  return Read(out.data(), out.size_bytes(), "read doubles from");
 }
 
 bool BinaryReader::ReadU64s(std::span<uint64_t> out) {
-  if (file_ == nullptr ||
-      std::fread(out.data(), sizeof(uint64_t), out.size(), file_) != out.size()) {
-    failed_ = true;
-    return false;
+  return Read(out.data(), out.size_bytes(), "read u64s from");
+}
+
+// -------------------------------------------------------------------- mmap --
+
+MmapFile::~MmapFile() { Reset(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
   }
-  return true;
+  return *this;
+}
+
+void MmapFile::Reset() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+  }
+  size_ = 0;
+}
+
+IoStatus MmapFile::Open(const std::string& path, MmapFile* out) {
+  out->Reset();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return IoStatus::FromErrno("open", path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const IoStatus status = IoStatus::FromErrno("stat", path);
+    ::close(fd);
+    return status;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {  // mmap rejects zero-length maps; an empty file is valid
+    ::close(fd);
+    return IoStatus::Ok();
+  }
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (data == MAP_FAILED) {
+    return IoStatus::FromErrno("mmap", path);
+  }
+  out->data_ = data;
+  out->size_ = size;
+  return IoStatus::Ok();
 }
 
 }  // namespace rc4b

@@ -1,8 +1,11 @@
-// Minimal binary (de)serialization for datasets and models. Expensive
-// artifacts (per-TSC models, digraph grids) can be generated once and reused
-// across bench runs. Format: little-endian, magic + version header, raw
-// arrays; not portable across endianness (research tooling, not a wire
-// format).
+// File I/O for datasets and models: rich error reporting, atomic
+// write-rename, and read-only memory maps. Expensive artifacts (per-TSC
+// models, keystream grids, checkpoints) are generated once and reused across
+// runs, so every failure carries the path and errno context it happened at,
+// and every writer lands its output atomically — a crashed or killed process
+// never leaves a torn file behind (src/store/ checkpoints rely on this).
+// Binary formats are little-endian, magic + version headers, raw arrays; not
+// portable across endianness (research tooling, not a wire format).
 #ifndef SRC_COMMON_IO_H_
 #define SRC_COMMON_IO_H_
 
@@ -10,10 +13,41 @@
 #include <cstdio>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace rc4b {
 
+// Success or a human-readable failure with path + errno context. Replaces
+// the old bare-bool results: a failed load now says *which* file and *why*
+// ("open /data/sb.grid: No such file or directory"), which is what shard
+// operators and the grid_merge tool surface to the user.
+struct IoStatus {
+  std::string error;  // empty == success
+
+  bool ok() const { return error.empty(); }
+  const std::string& message() const { return error; }
+
+  static IoStatus Ok() { return IoStatus{}; }
+  static IoStatus Fail(std::string message) { return IoStatus{std::move(message)}; }
+  // "op path: strerror(errno)" — call immediately after the failing syscall.
+  static IoStatus FromErrno(std::string_view op, std::string_view path);
+};
+
+// Writes `data` to `path` atomically: the bytes land in `path + ".tmp"` and
+// are renamed over `path` only after a successful flush, so readers never
+// observe a partial file. Used for manifests, checkpoints and BENCH_*.json.
+IoStatus WriteFileAtomic(const std::string& path, std::string_view data);
+
+// mkdir -p: creates `path` and any missing parents; existing directories are
+// not an error.
+IoStatus MakeDirs(const std::string& path);
+
+// Binary writer with atomic commit: all writes go to `path + ".tmp"`;
+// Commit() flushes and renames onto `path`. The destructor commits
+// best-effort if the stream is healthy and Commit() was never called (legacy
+// scope-based usage), and deletes the temp file if any write failed — a
+// half-written artifact never replaces a good one.
 class BinaryWriter {
  public:
   explicit BinaryWriter(const std::string& path);
@@ -22,14 +56,27 @@ class BinaryWriter {
   BinaryWriter(const BinaryWriter&) = delete;
   BinaryWriter& operator=(const BinaryWriter&) = delete;
 
-  bool ok() const { return file_ != nullptr; }
+  bool ok() const { return status_.ok(); }
+  const IoStatus& status() const { return status_; }
 
   void WriteU64(uint64_t v);
   void WriteDoubles(std::span<const double> values);
   void WriteU64s(std::span<const uint64_t> values);
+  void WriteBytes(std::span<const uint8_t> bytes);
+
+  // Flush + close + rename. Returns the first error the stream hit (write,
+  // flush, or rename); after Commit() the writer is inert.
+  IoStatus Commit();
 
  private:
+  void Write(const void* data, size_t bytes, const char* what);
+  void Abandon();  // close + unlink the temp file
+
+  std::string path_;
+  std::string tmp_path_;
   std::FILE* file_ = nullptr;
+  IoStatus status_;
+  bool finished_ = false;
 };
 
 class BinaryReader {
@@ -40,16 +87,48 @@ class BinaryReader {
   BinaryReader(const BinaryReader&) = delete;
   BinaryReader& operator=(const BinaryReader&) = delete;
 
-  // ok() turns false on the first failed read.
-  bool ok() const { return file_ != nullptr && !failed_; }
+  // ok() turns false on the first failed read; status() says which read and
+  // on which file.
+  bool ok() const { return status_.ok(); }
+  const IoStatus& status() const { return status_; }
 
   uint64_t ReadU64();
   bool ReadDoubles(std::span<double> out);
   bool ReadU64s(std::span<uint64_t> out);
 
  private:
+  bool Read(void* out, size_t bytes, const char* what);
+
+  std::string path_;
   std::FILE* file_ = nullptr;
-  bool failed_ = false;
+  IoStatus status_;
+};
+
+// Read-only memory map of a whole file. The grid store parses headers and
+// sums counter sections straight out of the map — merging N shard grids
+// touches each cell exactly once with no intermediate copies.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  // Maps `path` read-only into *out (replacing any previous mapping).
+  static IoStatus Open(const std::string& path, MmapFile* out);
+
+  std::span<const uint8_t> bytes() const {
+    return std::span<const uint8_t>(static_cast<const uint8_t*>(data_), size_);
+  }
+
+ private:
+  void Reset();
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
 };
 
 }  // namespace rc4b

@@ -220,11 +220,12 @@ void RunKeystreamEngine(const EngineOptions& options, BiasAccumulator& accumulat
   std::mutex merge_mutex;
   ParallelChunks(options.keys, options.workers,
                  [&](unsigned /*shard*/, uint64_t begin, uint64_t end) {
-    // All shards draw from the same AES-CTR stream: key k is key number k
-    // regardless of how [0, keys) was chunked, which makes the merged
-    // statistics invariant under the worker count.
+    // All shards draw from the same AES-CTR stream: key k is key number
+    // first_key + k regardless of how [0, keys) was chunked, which makes the
+    // merged statistics invariant under the worker count — and, with
+    // first_key, under how a key range is split across processes.
     Rc4KeyGenerator keygen(options.seed);
-    keygen.Seek(begin);
+    keygen.Seek(options.first_key + begin);
     std::unique_ptr<ShardSink> sink;
     {
       std::lock_guard<std::mutex> lock(merge_mutex);
@@ -261,7 +262,7 @@ void RunLongTermEngine(const LongTermEngineOptions& options,
   ParallelChunks(options.keys, options.workers,
                  [&](unsigned /*shard*/, uint64_t begin, uint64_t end) {
     Rc4KeyGenerator keygen(options.seed);
-    keygen.Seek(begin);
+    keygen.Seek(options.first_key + begin);
     std::unique_ptr<StreamShardSink> sink;
     {
       std::lock_guard<std::mutex> lock(merge_mutex);

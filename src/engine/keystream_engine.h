@@ -75,6 +75,12 @@ struct EngineOptions {
   uint64_t keys = 1 << 20;  // RC4 keys to sample
   unsigned workers = 0;     // shards; 0 = hardware concurrency
   uint64_t seed = 1;        // AES-CTR key-generator seed
+  // Global index of the first key: the run covers keys [first_key,
+  // first_key + keys) of the seed's AES-CTR stream. Separate processes can
+  // therefore each generate a disjoint slice of one logical dataset and merge
+  // the partial grids bit-exactly (src/store/), the same invariance the
+  // in-process shards rely on.
+  uint64_t first_key = 0;
   uint64_t drop = 0;        // initial keystream bytes discarded per key
   size_t batch_keys = 256;  // keystreams per generated batch
   // RC4 streams generated in lockstep (src/rc4/rc4_multi.h): 0 = auto
@@ -143,6 +149,7 @@ struct LongTermEngineOptions {
   uint64_t drop = 1024;              // initial bytes discarded per key
   unsigned workers = 0;
   uint64_t seed = 1;
+  uint64_t first_key = 0;  // global key-range offset (see EngineOptions)
   size_t chunk_bytes = 1 << 16;  // owned bytes per window (multiple of 256)
   // Keys generated in lockstep per shard (see EngineOptions::interleave and
   // the StreamShardSink window-ordering note above). 0 = auto, 1 = scalar.

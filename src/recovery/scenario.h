@@ -35,6 +35,11 @@ struct ScenarioParams {
   // 1 = scalar; see EngineOptions::interleave). Outcomes are bit-identical
   // for any width — this is a perf/diagnosis knob only.
   size_t interleave = 0;
+  // When set, engine-backed scenarios warm-start their attacker-model grids
+  // from this store::GridCache directory (docs/store.md) instead of
+  // regenerating each run. Cached and fresh grids are bit-identical, so
+  // outcomes do not depend on this field.
+  std::string grid_cache;
 };
 
 // Per-scenario aggregate, folded in trial order (bit-exact for any

@@ -70,6 +70,9 @@ class SingleByteGrid {
 
   // Raw cell storage (pos-major) for worker-tile flushes.
   std::span<uint64_t> MutableCells() { return counts_; }
+  // Read-only view of all cells (pos-major) — the grid store serializes this
+  // block verbatim (src/store/grid_file.h).
+  std::span<const uint64_t> Cells() const { return counts_; }
 
   // Merges another grid (e.g. a worker shard) into this one.
   void Merge(const SingleByteGrid& other);
@@ -119,6 +122,8 @@ class DigraphGrid {
 
   // Raw cell storage (pos-major) for worker-tile flushes.
   std::span<uint64_t> MutableCells() { return counts_; }
+  // Read-only view of all cells (pos-major, see src/store/grid_file.h).
+  std::span<const uint64_t> Cells() const { return counts_; }
 
   void Merge(const DigraphGrid& other);
 

@@ -1,0 +1,84 @@
+#include "src/store/merge.h"
+
+namespace rc4b::store {
+
+IoStatus MergeShardGrids(const Manifest& manifest,
+                         const std::string& manifest_path, StoredGrid* out) {
+  if (IoStatus status = ValidateManifest(manifest, manifest_path);
+      !status.ok()) {
+    return status;
+  }
+  out->meta = manifest.grid;
+  out->meta.samples = 0;
+  out->cells.assign(manifest.grid.cell_count(), 0);
+  bool first = true;
+  uint64_t unanimous_interleave = 0;
+  for (const ShardEntry& shard : manifest.shards) {
+    const std::string path = ResolveManifestPath(manifest_path, shard.path);
+    GridFileView view;
+    if (IoStatus status = view.Open(path); !status.ok()) {
+      return status;
+    }
+    const GridMeta& got = view.meta();
+    if (IoStatus status = CheckSameDataset(manifest.grid, got, path);
+        !status.ok()) {
+      return status;
+    }
+    if (got.key_begin != shard.key_begin || got.key_end != shard.key_end) {
+      return IoStatus::Fail(
+          path + ": covers keys [" + std::to_string(got.key_begin) + ", " +
+          std::to_string(got.key_end) + ") but the manifest assigns [" +
+          std::to_string(shard.key_begin) + ", " +
+          std::to_string(shard.key_end) + ")");
+    }
+    const auto cells = view.cells();
+    for (size_t i = 0; i < cells.size(); ++i) {
+      out->cells[i] += cells[i];
+    }
+    out->meta.samples += got.samples;
+    if (first) {
+      unanimous_interleave = got.interleave;
+      first = false;
+    } else if (unanimous_interleave != got.interleave) {
+      unanimous_interleave = 0;
+    }
+  }
+  out->meta.interleave = unanimous_interleave;
+  return IoStatus::Ok();
+}
+
+IoStatus CheckGridsEqual(const StoredGrid& a, const StoredGrid& b,
+                         const std::string& a_name, const std::string& b_name) {
+  const std::string context = a_name + " vs " + b_name;
+  if (IoStatus status = CheckSameDataset(a.meta, b.meta, context);
+      !status.ok()) {
+    return status;
+  }
+  if (a.meta.key_begin != b.meta.key_begin ||
+      a.meta.key_end != b.meta.key_end) {
+    return IoStatus::Fail(context + ": key ranges differ ([" +
+                          std::to_string(a.meta.key_begin) + ", " +
+                          std::to_string(a.meta.key_end) + ") vs [" +
+                          std::to_string(b.meta.key_begin) + ", " +
+                          std::to_string(b.meta.key_end) + "))");
+  }
+  if (a.meta.samples != b.meta.samples) {
+    return IoStatus::Fail(context + ": sample counts differ (" +
+                          std::to_string(a.meta.samples) + " vs " +
+                          std::to_string(b.meta.samples) + ")");
+  }
+  if (a.cells.size() != b.cells.size()) {
+    return IoStatus::Fail(context + ": cell counts differ");
+  }
+  for (size_t i = 0; i < a.cells.size(); ++i) {
+    if (a.cells[i] != b.cells[i]) {
+      return IoStatus::Fail(context + ": counters differ first at cell " +
+                            std::to_string(i) + " (" +
+                            std::to_string(a.cells[i]) + " vs " +
+                            std::to_string(b.cells[i]) + ")");
+    }
+  }
+  return IoStatus::Ok();
+}
+
+}  // namespace rc4b::store

@@ -1,0 +1,36 @@
+// Bit-exact combination of partial shard grids (docs/store.md).
+//
+// Merging extends the engine's thread-invariance contract to processes and
+// machines: because every shard counts a disjoint slice of one globally
+// indexed key stream, summing the 64-bit counter cells reproduces exactly
+// the grid a single process would have produced over the whole range.
+// Everything is validated before a single cell is added — checksums, format
+// version, provenance compatibility, and exact key-range coverage — so a
+// corrupt, foreign or missing shard is always a loud, path-qualified error;
+// partial grids are never merged silently.
+#ifndef SRC_STORE_MERGE_H_
+#define SRC_STORE_MERGE_H_
+
+#include <string>
+
+#include "src/store/grid_file.h"
+#include "src/store/manifest.h"
+
+namespace rc4b::store {
+
+// Validates every shard file listed in `manifest` (resolved relative to
+// `manifest_path`) and sums them into *out. The output meta covers the full
+// key range; samples is the sum over shards; interleave is the shards'
+// width when unanimous, 0 otherwise.
+IoStatus MergeShardGrids(const Manifest& manifest,
+                         const std::string& manifest_path, StoredGrid* out);
+
+// Same-dataset + same-range + identical samples and cells (merge and
+// kill/resume round-trip checks; the informational interleave width is
+// ignored). Returns a diagnostic naming the first difference.
+IoStatus CheckGridsEqual(const StoredGrid& a, const StoredGrid& b,
+                         const std::string& a_name, const std::string& b_name);
+
+}  // namespace rc4b::store
+
+#endif  // SRC_STORE_MERGE_H_

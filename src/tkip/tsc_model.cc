@@ -85,35 +85,42 @@ namespace {
 constexpr uint64_t kModelMagic = 0x52433454534331ULL;  // "RC4TSC1"
 }  // namespace
 
-bool TkipTscModel::Save(const std::string& path) const {
+IoStatus TkipTscModel::Save(const std::string& path) const {
   BinaryWriter writer(path);
-  if (!writer.ok()) {
-    return false;
-  }
   writer.WriteU64(kModelMagic);
   writer.WriteU64(first_position_);
   writer.WriteU64(last_position_);
   writer.WriteU64(keys_per_class_);
   writer.WriteDoubles(log_p_);
-  return true;
+  return writer.Commit();
 }
 
-bool TkipTscModel::Load(const std::string& path) {
+IoStatus TkipTscModel::Load(const std::string& path) {
   BinaryReader reader(path);
-  if (!reader.ok() || reader.ReadU64() != kModelMagic) {
-    return false;
+  const uint64_t magic = reader.ReadU64();
+  if (reader.ok() && magic != kModelMagic) {
+    return IoStatus::Fail(path + ": not a TkipTscModel file (bad magic)");
   }
   const uint64_t first = reader.ReadU64();
   const uint64_t last = reader.ReadU64();
   const uint64_t keys = reader.ReadU64();
-  if (!reader.ok() || first != first_position_ || last != last_position_) {
-    return false;
+  if (!reader.ok()) {
+    return reader.status();
   }
-  if (!reader.ReadDoubles(log_p_)) {
-    return false;
+  if (first != first_position_ || last != last_position_) {
+    return IoStatus::Fail(path + ": position range [" + std::to_string(first) +
+                          ", " + std::to_string(last) +
+                          "] does not match this model's [" +
+                          std::to_string(first_position_) + ", " +
+                          std::to_string(last_position_) + "]");
   }
+  std::vector<double> loaded(log_p_.size());
+  if (!reader.ReadDoubles(loaded)) {
+    return reader.status();
+  }
+  log_p_ = std::move(loaded);
   keys_per_class_ = keys;
-  return true;
+  return IoStatus::Ok();
 }
 
 void TkipTscModel::SetRow(uint8_t tsc1, size_t pos,

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/io.h"
 
 namespace rc4b {
 
@@ -70,10 +71,10 @@ class TkipTscModel {
   double RmsRelativeDeviation() const;
 
   // Binary persistence, so expensive models can be generated once and reused
-  // across bench runs. Load fails (returns false) on a position-range or
-  // format mismatch.
-  bool Save(const std::string& path) const;
-  bool Load(const std::string& path);
+  // across bench runs. Save lands atomically (write-rename); Load fails with
+  // a path-qualified message on a position-range or format mismatch.
+  IoStatus Save(const std::string& path) const;
+  IoStatus Load(const std::string& path);
 
  private:
   size_t first_position_;

@@ -1,6 +1,7 @@
 #include "src/common/io.h"
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -12,6 +13,11 @@ namespace {
 
 std::string TempPath(const char* name) {
   return std::string(::testing::TempDir()) + "/" + name;
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
 }
 
 TEST(BinaryIoTest, U64RoundTrip) {
@@ -38,6 +44,7 @@ TEST(BinaryIoTest, ArrayRoundTrip) {
     BinaryWriter writer(path);
     writer.WriteDoubles(doubles);
     writer.WriteU64s(ints);
+    ASSERT_TRUE(writer.Commit().ok());
   }
   BinaryReader reader(path);
   std::vector<double> doubles_back(4);
@@ -49,7 +56,7 @@ TEST(BinaryIoTest, ArrayRoundTrip) {
   std::remove(path.c_str());
 }
 
-TEST(BinaryIoTest, ShortReadFails) {
+TEST(BinaryIoTest, ShortReadFailsWithContext) {
   const std::string path = TempPath("short.bin");
   {
     BinaryWriter writer(path);
@@ -59,12 +66,88 @@ TEST(BinaryIoTest, ShortReadFails) {
   reader.ReadU64();
   reader.ReadU64();  // past end
   EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find(path), std::string::npos);
+  EXPECT_NE(reader.status().message().find("end of file"), std::string::npos);
   std::remove(path.c_str());
 }
 
-TEST(BinaryIoTest, MissingFileNotOk) {
+TEST(BinaryIoTest, MissingFileReportsPathAndErrno) {
   BinaryReader reader("/nonexistent/path/file.bin");
   EXPECT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("/nonexistent/path/file.bin"),
+            std::string::npos);
+  EXPECT_NE(reader.status().message().find("No such file"), std::string::npos);
+}
+
+TEST(BinaryIoTest, CommitIsAtomic) {
+  const std::string path = TempPath("atomic.bin");
+  BinaryWriter writer(path);
+  writer.WriteU64(7);
+  // Before Commit() the destination must not exist — only the temp file does.
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_TRUE(FileExists(path + ".tmp"));
+  ASSERT_TRUE(writer.Commit().ok());
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, FailedWriterNeverClobbersExistingFile) {
+  const std::string path = TempPath("keep.bin");
+  ASSERT_TRUE(WriteFileAtomic(path, "good").ok());
+  {
+    BinaryWriter writer("/nonexistent-dir/keep.bin");
+    EXPECT_FALSE(writer.ok());
+    writer.WriteU64(1);
+    EXPECT_FALSE(writer.Commit().ok());
+  }
+  // Unrelated failure; the original file is untouched.
+  std::ifstream in(path);
+  std::string content;
+  in >> content;
+  EXPECT_EQ(content, "good");
+  std::remove(path.c_str());
+}
+
+TEST(WriteFileAtomicTest, RoundTripAndNoTempLeftover) {
+  const std::string path = TempPath("atomic.txt");
+  ASSERT_TRUE(WriteFileAtomic(path, "{\"k\": 1}\n").ok());
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "{\"k\": 1}");
+  std::remove(path.c_str());
+}
+
+TEST(MakeDirsTest, CreatesNestedAndToleratesExisting) {
+  const std::string base = TempPath("mkdirs");
+  const std::string nested = base + "/a/b/c";
+  ASSERT_TRUE(MakeDirs(nested).ok());
+  EXPECT_TRUE(MakeDirs(nested).ok());  // idempotent
+  ASSERT_TRUE(WriteFileAtomic(nested + "/f.txt", "x").ok());
+  // A file in the way is a rich error, not an abort.
+  const IoStatus status = MakeDirs(nested + "/f.txt");
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("f.txt"), std::string::npos);
+}
+
+TEST(MmapFileTest, MapsWrittenBytes) {
+  const std::string path = TempPath("map.bin");
+  ASSERT_TRUE(WriteFileAtomic(path, "abcdef").ok());
+  MmapFile map;
+  ASSERT_TRUE(MmapFile::Open(path, &map).ok());
+  ASSERT_EQ(map.bytes().size(), 6u);
+  EXPECT_EQ(map.bytes()[0], 'a');
+  EXPECT_EQ(map.bytes()[5], 'f');
+  std::remove(path.c_str());
+}
+
+TEST(MmapFileTest, MissingFileReportsPath) {
+  MmapFile map;
+  const IoStatus status = MmapFile::Open("/nonexistent/map.bin", &map);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("/nonexistent/map.bin"), std::string::npos);
 }
 
 TEST(TscModelIoTest, SaveLoadRoundTrip) {
@@ -72,9 +155,9 @@ TEST(TscModelIoTest, SaveLoadRoundTrip) {
   TkipTscModel model(3, 5);
   model.Generate(1 << 8, 7, 8);
 
-  ASSERT_TRUE(model.Save(path));
+  ASSERT_TRUE(model.Save(path).ok());
   TkipTscModel loaded(3, 5);
-  ASSERT_TRUE(loaded.Load(path));
+  ASSERT_TRUE(loaded.Load(path).ok());
   EXPECT_EQ(loaded.keys_per_class(), model.keys_per_class());
   for (int tsc1 = 0; tsc1 < 256; tsc1 += 17) {
     for (size_t pos = 3; pos <= 5; ++pos) {
@@ -88,14 +171,17 @@ TEST(TscModelIoTest, SaveLoadRoundTrip) {
   std::remove(path.c_str());
 }
 
-TEST(TscModelIoTest, LoadRejectsRangeMismatch) {
+TEST(TscModelIoTest, LoadRejectsRangeMismatchWithDiagnostic) {
   const std::string path = TempPath("model2.bin");
   TkipTscModel model(3, 5);
   model.Generate(1 << 6, 9, 8);
-  ASSERT_TRUE(model.Save(path));
+  ASSERT_TRUE(model.Save(path).ok());
 
   TkipTscModel wrong_range(3, 6);
-  EXPECT_FALSE(wrong_range.Load(path));
+  const IoStatus status = wrong_range.Load(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("position range"), std::string::npos);
+  EXPECT_NE(status.message().find(path), std::string::npos);
   std::remove(path.c_str());
 }
 
@@ -106,7 +192,9 @@ TEST(TscModelIoTest, LoadRejectsGarbage) {
     writer.WriteU64(12345);  // wrong magic
   }
   TkipTscModel model(1, 1);
-  EXPECT_FALSE(model.Load(path));
+  const IoStatus status = model.Load(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("magic"), std::string::npos);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,152 @@
+#include "src/store/merge.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/store/shard_runner.h"
+
+namespace rc4b::store {
+namespace {
+
+std::string TempDir(const char* name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  MakeDirs(dir);
+  return dir;
+}
+
+GridMeta SmallMeta(GridKind kind) {
+  GridMeta meta;
+  meta.kind = kind;
+  meta.seed = 21;
+  meta.key_begin = 0;
+  meta.key_end = 2048;
+  switch (kind) {
+    case GridKind::kSingleByte:
+    case GridKind::kConsecutive:
+      meta.rows = 6;
+      break;
+    case GridKind::kPair:
+      meta.pairs = {{1, 2}, {3, 260}};
+      meta.rows = meta.pairs.size();
+      break;
+    case GridKind::kLongTermDigraph:
+      meta.rows = 256;
+      meta.key_end = 6;
+      meta.drop = 256;
+      meta.bytes_per_key = 2048;
+      break;
+  }
+  return meta;
+}
+
+// Generates each shard independently (separate GenerateStoredGrid calls, as
+// separate processes would) and writes the shard files.
+Manifest WriteShards(const GridMeta& grid, uint32_t shards,
+                     const std::string& dir) {
+  const Manifest manifest = PlanShards(grid, shards, dir + "/part");
+  for (const ShardEntry& shard : manifest.shards) {
+    GridMeta slice = grid;
+    slice.key_begin = shard.key_begin;
+    slice.key_end = shard.key_end;
+    const StoredGrid partial = GenerateStoredGrid(slice, 2, 0);
+    EXPECT_TRUE(WriteGridFile(shard.path, partial.meta, partial.cells).ok());
+  }
+  return manifest;
+}
+
+TEST(MergeTest, ShardedMergeMatchesSingleProcessForEveryKind) {
+  for (const GridKind kind :
+       {GridKind::kSingleByte, GridKind::kConsecutive, GridKind::kPair,
+        GridKind::kLongTermDigraph}) {
+    SCOPED_TRACE(GridKindName(kind));
+    const std::string dir = TempDir("merge");
+    const GridMeta grid = SmallMeta(kind);
+    const Manifest manifest =
+        WriteShards(grid, kind == GridKind::kLongTermDigraph ? 2 : 3, dir);
+
+    StoredGrid merged;
+    ASSERT_TRUE(MergeShardGrids(manifest, dir + "/x.manifest", &merged).ok());
+    const StoredGrid reference = GenerateStoredGrid(grid, 2, 0);
+    EXPECT_TRUE(
+        CheckGridsEqual(reference, merged, "reference", "merged").ok());
+    for (const ShardEntry& shard : manifest.shards) {
+      std::remove(shard.path.c_str());
+    }
+  }
+}
+
+TEST(MergeTest, RejectsShardFromADifferentDataset) {
+  const std::string dir = TempDir("merge-mismatch");
+  const GridMeta grid = SmallMeta(GridKind::kSingleByte);
+  const Manifest manifest = WriteShards(grid, 2, dir);
+
+  // Overwrite shard 1 with a grid of the right range but the wrong seed.
+  GridMeta wrong = grid;
+  wrong.seed = 999;
+  wrong.key_begin = manifest.shards[1].key_begin;
+  wrong.key_end = manifest.shards[1].key_end;
+  const StoredGrid bad = GenerateStoredGrid(wrong, 1, 0);
+  ASSERT_TRUE(WriteGridFile(manifest.shards[1].path, bad.meta, bad.cells).ok());
+
+  StoredGrid merged;
+  const IoStatus status = MergeShardGrids(manifest, dir + "/x.manifest", &merged);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("seed"), std::string::npos);
+  EXPECT_NE(status.message().find(manifest.shards[1].path), std::string::npos);
+}
+
+TEST(MergeTest, RejectsShardCoveringTheWrongRange) {
+  const std::string dir = TempDir("merge-range");
+  const GridMeta grid = SmallMeta(GridKind::kSingleByte);
+  Manifest manifest = WriteShards(grid, 2, dir);
+
+  // Swap the two shard files: provenance matches but ranges do not.
+  std::swap(manifest.shards[0].path, manifest.shards[1].path);
+  StoredGrid merged;
+  const IoStatus status = MergeShardGrids(manifest, dir + "/x.manifest", &merged);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("manifest assigns"), std::string::npos);
+}
+
+TEST(MergeTest, RejectsMissingShardFile) {
+  const std::string dir = TempDir("merge-missing");
+  const GridMeta grid = SmallMeta(GridKind::kSingleByte);
+  const Manifest manifest = WriteShards(grid, 2, dir);
+  std::remove(manifest.shards[0].path.c_str());
+
+  StoredGrid merged;
+  const IoStatus status = MergeShardGrids(manifest, dir + "/x.manifest", &merged);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find(manifest.shards[0].path), std::string::npos);
+}
+
+TEST(MergeTest, RejectsCorruptShard) {
+  const std::string dir = TempDir("merge-corrupt");
+  const GridMeta grid = SmallMeta(GridKind::kSingleByte);
+  const Manifest manifest = WriteShards(grid, 2, dir);
+  {
+    std::FILE* file = std::fopen(manifest.shards[0].path.c_str(), "r+b");
+    ASSERT_NE(file, nullptr);
+    std::fseek(file, -3, SEEK_END);
+    std::fputc('X', file);
+    std::fclose(file);
+  }
+  StoredGrid merged;
+  const IoStatus status = MergeShardGrids(manifest, dir + "/x.manifest", &merged);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("checksum"), std::string::npos);
+}
+
+TEST(MergeTest, MergedSamplesAreTheShardSum) {
+  const std::string dir = TempDir("merge-samples");
+  const GridMeta grid = SmallMeta(GridKind::kConsecutive);
+  const Manifest manifest = WriteShards(grid, 4, dir);
+  StoredGrid merged;
+  ASSERT_TRUE(MergeShardGrids(manifest, dir + "/x.manifest", &merged).ok());
+  EXPECT_EQ(merged.meta.samples, grid.keys());
+}
+
+}  // namespace
+}  // namespace rc4b::store

@@ -1,0 +1,87 @@
+// Merges the shard grids of a manifest into one full-range grid file
+// (docs/store.md). Every shard is fully validated first — checksums, format
+// version, provenance, exact key-range tiling — so a truncated download or a
+// shard from a different run is a loud error, never a silently wrong merge.
+//
+//   tools/grid_merge --manifest consec.manifest --out consec.grid
+//       --verify-against consec-ref.grid   # optional bit-exactness check
+#include <cstdio>
+#include <string>
+
+#include "src/common/flags.h"
+#include "src/store/merge.h"
+
+namespace rc4b {
+namespace {
+
+int Run(int argc, char** argv) {
+  FlagSet flags(
+      "Validates a manifest's shard grids and merges them into one "
+      "full-range grid file (docs/store.md)");
+  flags.Define("manifest", "grid.manifest", "manifest written by grid_plan")
+      .Define("out", "", "merged grid output path (required)")
+      .Define("verify-against", "",
+              "optional reference grid; fail unless the merge is "
+              "bit-identical to it");
+  if (!flags.Parse(argc, argv)) {
+    return 0;
+  }
+
+  const std::string out = flags.GetString("out");
+  if (out.empty()) {
+    std::fprintf(stderr, "grid_merge: --out is required\n");
+    return 1;
+  }
+
+  const std::string manifest_path = flags.GetString("manifest");
+  store::Manifest manifest;
+  if (IoStatus status = store::ReadManifest(manifest_path, &manifest);
+      !status.ok()) {
+    std::fprintf(stderr, "grid_merge: %s\n", status.message().c_str());
+    return 1;
+  }
+
+  store::StoredGrid merged;
+  if (IoStatus status =
+          store::MergeShardGrids(manifest, manifest_path, &merged);
+      !status.ok()) {
+    std::fprintf(stderr, "grid_merge: %s\n", status.message().c_str());
+    return 1;
+  }
+
+  const std::string reference = flags.GetString("verify-against");
+  if (!reference.empty()) {
+    store::StoredGrid ref;
+    if (IoStatus status = store::ReadGridFile(reference, &ref); !status.ok()) {
+      std::fprintf(stderr, "grid_merge: %s\n", status.message().c_str());
+      return 1;
+    }
+    if (IoStatus status =
+            store::CheckGridsEqual(ref, merged, reference, "merge");
+        !status.ok()) {
+      std::fprintf(stderr, "grid_merge: verification failed: %s\n",
+                   status.message().c_str());
+      return 1;
+    }
+    std::printf("merge is bit-identical to %s\n", reference.c_str());
+  }
+
+  if (IoStatus status = store::WriteGridFile(out, merged.meta, merged.cells);
+      !status.ok()) {
+    std::fprintf(stderr, "grid_merge: %s\n", status.message().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %s grid, %zu shards merged, keys [%llu, %llu), "
+              "%llu samples\n",
+              out.c_str(), store::GridKindName(merged.meta.kind),
+              manifest.shards.size(),
+              static_cast<unsigned long long>(merged.meta.key_begin),
+              static_cast<unsigned long long>(merged.meta.key_end),
+              static_cast<unsigned long long>(merged.meta.samples));
+  return 0;
+}
+
+}  // namespace
+}  // namespace rc4b
+
+int main(int argc, char** argv) { return rc4b::Run(argc, argv); }

@@ -1,0 +1,128 @@
+// Plans a distributed grid-generation run (docs/store.md): describes one
+// logical dataset, splits its key range into N shards and writes the shard
+// manifest that grid_gen / grid_merge consume. Example:
+//
+//   tools/grid_plan --kind consecutive --keys 0x100000 --rows 256
+//       --shards 4 --out /data/consec.manifest
+//   for i in 0 1 2 3; do tools/grid_gen --manifest ... --shard $i & done; wait
+//   tools/grid_merge --manifest /data/consec.manifest --out /data/consec.grid
+#include <cstdio>
+#include <string>
+
+#include "src/common/flags.h"
+#include "src/store/manifest.h"
+
+namespace rc4b {
+namespace {
+
+// "a:b,c:d" -> [(a, b), (c, d)]; the manifest's pairs syntax.
+bool ParsePairList(const std::string& text,
+                   std::vector<std::pair<uint32_t, uint32_t>>* out) {
+  out->clear();
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = text.size();
+    }
+    const std::string item = text.substr(pos, comma - pos);
+    const size_t colon = item.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= item.size()) {
+      return false;
+    }
+    out->emplace_back(
+        static_cast<uint32_t>(std::stoul(item.substr(0, colon), nullptr, 0)),
+        static_cast<uint32_t>(std::stoul(item.substr(colon + 1), nullptr, 0)));
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags(
+      "Plans a sharded grid generation: writes the manifest that grid_gen "
+      "workers and grid_merge consume (docs/store.md)");
+  flags.Define("kind", "singlebyte",
+               "dataset family: singlebyte | consecutive | pair | "
+               "longterm-digraph")
+      .Define("keys", "0x100000", "total RC4 keys across all shards")
+      .Define("seed", "1", "AES-CTR key-generator seed")
+      .Define("first-key", "0", "global index of the first key")
+      .Define("rows", "256", "keystream positions (ignored for pair/longterm)")
+      .Define("pairs", "", "kind pair only: position pairs \"a:b,c:d,...\"")
+      .Define("drop", "1024", "longterm only: initial bytes dropped per key")
+      .Define("bytes-per-key", "0x1000000", "longterm only: bytes kept per key")
+      .Define("shards", "4", "number of independent shards")
+      .Define("out", "grid.manifest", "manifest output path")
+      .Define("prefix", "",
+              "shard file prefix (default: --out minus its extension)");
+  if (!flags.Parse(argc, argv)) {
+    return 0;
+  }
+
+  store::GridMeta grid;
+  const std::string kind = flags.GetString("kind");
+  if (!store::ParseGridKind(kind, &grid.kind)) {
+    std::fprintf(stderr, "unknown --kind %s\n", kind.c_str());
+    return 1;
+  }
+  grid.seed = flags.GetUint("seed");
+  grid.key_begin = flags.GetUint("first-key");
+  grid.key_end = grid.key_begin + flags.GetUint("keys");
+  switch (grid.kind) {
+    case store::GridKind::kSingleByte:
+    case store::GridKind::kConsecutive:
+      grid.rows = flags.GetUint("rows");
+      break;
+    case store::GridKind::kPair:
+      if (!ParsePairList(flags.GetString("pairs"), &grid.pairs)) {
+        std::fprintf(stderr, "kind pair requires --pairs \"a:b,c:d,...\"\n");
+        return 1;
+      }
+      grid.rows = grid.pairs.size();
+      break;
+    case store::GridKind::kLongTermDigraph:
+      grid.rows = 256;
+      grid.drop = flags.GetUint("drop");
+      grid.bytes_per_key = flags.GetUint("bytes-per-key");
+      break;
+  }
+
+  const std::string out = flags.GetString("out");
+  std::string prefix = flags.GetString("prefix");
+  if (prefix.empty()) {
+    const size_t dot = out.rfind('.');
+    const size_t slash = out.rfind('/');
+    prefix = (dot != std::string::npos &&
+              (slash == std::string::npos || dot > slash))
+                 ? out.substr(0, dot)
+                 : out;
+  }
+
+  const store::Manifest manifest = store::PlanShards(
+      grid, static_cast<uint32_t>(flags.GetUint("shards")), prefix);
+  if (IoStatus status = store::WriteManifest(out, manifest); !status.ok()) {
+    std::fprintf(stderr, "grid_plan: %s\n", status.message().c_str());
+    return 1;
+  }
+
+  std::printf("wrote %s: %s grid, %llu keys [%llu, %llu), %zu shards\n",
+              out.c_str(), store::GridKindName(grid.kind),
+              static_cast<unsigned long long>(grid.keys()),
+              static_cast<unsigned long long>(grid.key_begin),
+              static_cast<unsigned long long>(grid.key_end),
+              manifest.shards.size());
+  for (size_t i = 0; i < manifest.shards.size(); ++i) {
+    const store::ShardEntry& shard = manifest.shards[i];
+    std::printf("  shard %zu: keys [%llu, %llu) -> %s\n", i,
+                static_cast<unsigned long long>(shard.key_begin),
+                static_cast<unsigned long long>(shard.key_end),
+                shard.path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rc4b
+
+int main(int argc, char** argv) { return rc4b::Run(argc, argv); }
