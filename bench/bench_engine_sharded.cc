@@ -1,8 +1,9 @@
 // Sharded keystream-engine throughput: keystreams/sec for the single-byte
 // and consecutive-digraph accumulators, comparing
-//   * the scalar Rc4 path (--interleave=1) against the interleaved
-//     multi-stream kernel (src/rc4/rc4_multi.h) on one thread — the
-//     single-core headline of the kernel, and
+//   * the scalar Rc4 path (--interleave=1) against the dispatched lane
+//     kernel (src/rc4/kernel_registry.h: scalar round-robin, ssse3, avx2 or
+//     neon; --kernel forces one) on one thread — the single-core headline,
+//     and
 //   * one shard against all cores — the sharding headline.
 // Every run re-checks the engine's two bit-exactness guarantees: the multi
 // grid equals the scalar grid, and the sharded merge equals the
@@ -22,7 +23,7 @@
 #include "src/common/thread_pool.h"
 #include "src/engine/accumulators.h"
 #include "src/engine/keystream_engine.h"
-#include "src/rc4/rc4_multi.h"
+#include "src/rc4/kernel_registry.h"
 
 namespace rc4b {
 namespace {
@@ -93,35 +94,43 @@ int Run(int argc, char** argv) {
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
-  const auto [keys, parsed_threads, seed, requested_interleave] =
+  const auto [keys, parsed_threads, seed, requested_interleave, kernel_flag] =
       GetScaleFlags(flags, scale);
   const size_t positions = static_cast<size_t>(flags.GetUint("positions"));
   const unsigned threads =
       parsed_threads != 0 ? parsed_threads : DefaultWorkerCount();
-  const size_t interleave = ResolveInterleave(requested_interleave);
+  // The same dispatch decision the engine will make, surfaced up front so
+  // stdout and the JSON record the kernel the numbers belong to.
+  const KernelChoice choice = ResolveKernelChoice(kernel_flag, requested_interleave);
 
   bench::PrintHeader(
       "bench_engine_sharded",
       "Sect. 3.2 dataset generation (engine substrate for Fig. 4-10, Tab. 1-2)",
-      "keystreams/sec: scalar vs interleaved kernel (1 thread), then all "
+      "keystreams/sec: scalar vs dispatched lane kernel (1 thread), then all "
       "cores; every run re-checks both bit-exactness guarantees");
-  std::printf("keys=%llu positions=%zu threads=%u (hardware: %u) interleave=%zu\n\n",
-              static_cast<unsigned long long>(keys), positions, threads,
-              DefaultWorkerCount(), interleave);
+  std::printf(
+      "keys=%llu positions=%zu threads=%u (hardware: %u) kernel=%.*s "
+      "interleave=%zu (requested %zu) cpu=%s\n\n",
+      static_cast<unsigned long long>(keys), positions, threads,
+      DefaultWorkerCount(), static_cast<int>(choice.name().size()),
+      choice.name().data(), choice.width, requested_interleave,
+      CpuFeatureString().c_str());
 
   EngineOptions base;
   base.keys = keys;
   base.seed = seed;
+  base.kernel = kernel_flag;
 
   bench::JsonTrajectory json("engine_sharded");
   json.Add("keys", static_cast<uint64_t>(keys));
   json.Add("positions", static_cast<uint64_t>(positions));
   json.Add("threads", static_cast<uint64_t>(threads));
-  json.RecordScale(interleave, base.batch_keys);
+  json.RecordScale(requested_interleave, choice.width, base.batch_keys);
+  json.RecordKernel(std::string(choice.name()), CpuFeatureString());
 
-  bool exact = RunMode("single-byte", base, threads, interleave, json,
+  bool exact = RunMode("single-byte", base, threads, choice.width, json,
                        [&] { return SingleByteAccumulator(positions); });
-  exact &= RunMode("digraph", base, threads, interleave, json,
+  exact &= RunMode("digraph", base, threads, choice.width, json,
                    [&] { return ConsecutiveAccumulator(positions); });
   json.Write();
   if (!exact) {

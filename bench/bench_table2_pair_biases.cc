@@ -94,12 +94,13 @@ int Run(int argc, char** argv) {
     return 0;
   }
 
-  const auto [keys, workers, seed, interleave] = GetScaleFlags(flags, scale);
+  const auto [keys, workers, seed, interleave, kernel] = GetScaleFlags(flags, scale);
   DatasetOptions options;
   options.keys = keys;
   options.workers = workers;
   options.seed = seed;
   options.interleave = interleave;
+  options.kernel = kernel;
   options.cache_dir = flags.GetString("grid-cache");
 
   bench::PrintHeader("bench_table2_pair_biases",

@@ -66,9 +66,22 @@ class JsonTrajectory {
   // trajectory can be compared like-for-like: a point measured with a
   // different lockstep width or batch size is the same math on a different
   // schedule (bit-exact results), but not the same perf configuration.
-  void RecordScale(size_t interleave, uint64_t batch_keys) {
+  // Both sides of the interleave resolution are recorded — "I asked for 12"
+  // and "the kernel ran 8 lanes" are different facts, and the perf gate
+  // compares points by the resolved value (bench/trajectory/README.md).
+  void RecordScale(size_t interleave_requested, size_t interleave,
+                   uint64_t batch_keys) {
+    Add("interleave_requested", static_cast<uint64_t>(interleave_requested));
     Add("interleave", static_cast<uint64_t>(interleave));
     Add("batch_keys", batch_keys);
+  }
+
+  // The dispatch decision behind the numbers: kernel name plus the CPU
+  // features the host offers (CpuFeatureString()). A trajectory point is
+  // only comparable to points with the same kernel on the same hardware.
+  void RecordKernel(const std::string& kernel, const std::string& cpu_features) {
+    Add("kernel", kernel);
+    Add("cpu_features", cpu_features);
   }
 
   // Writes BENCH_<name>.json atomically (temp file + rename: a nightly-CI

@@ -4,9 +4,13 @@
 #include <cassert>
 #include <cstring>
 #include <mutex>
+#include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/rc4/autotune.h"
 #include "src/rc4/keygen.h"
+#include "src/rc4/kernel.h"
+#include "src/rc4/kernel_registry.h"
 #include "src/rc4/rc4.h"
 #include "src/rc4/rc4_multi.h"
 #include "src/stats/counters.h"
@@ -17,23 +21,33 @@ namespace {
 
 constexpr size_t kKeySize = Rc4KeyGenerator::kRc4KeySize;
 
-// Draws M keys, in keygen order, into one flat buffer for an interleaved KSA.
-template <size_t M>
-std::array<uint8_t, M * kKeySize> GatherKeys(Rc4KeyGenerator& keygen) {
-  std::array<uint8_t, M * kKeySize> keys;
-  for (size_t m = 0; m < M; ++m) {
+// Draws `lanes` keys, in keygen order, into one flat buffer for a kernel's
+// lockstep Init().
+void GatherKeys(Rc4KeyGenerator& keygen, size_t lanes, uint8_t* out) {
+  for (size_t m = 0; m < lanes; ++m) {
     const auto key = keygen.NextKey();
-    std::copy(key.begin(), key.end(), keys.begin() + m * kKeySize);
+    std::copy(key.begin(), key.end(), out + m * kKeySize);
   }
-  return keys;
+}
+
+// batch_keys == 0 consumes the host's cached autotune choice (the tuner
+// sweeps batch sizes alongside kernels/widths); without a valid cache the
+// historical default stands.
+size_t ResolveBatchKeys(size_t requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  if (const auto cached = ValidCachedAutotuneChoice()) {
+    return cached->batch_keys;
+  }
+  return 256;
 }
 
 // ------------------------------------------------------------------------
 // Short-term batch generation.
 
-// Scalar path (interleave == 1) and the tail of every interleaved group
-// sweep: the pre-kernel reference the bit-exactness tests and benches
-// compare against.
+// Scalar path (width 1) and the tail of every lockstep group sweep: the
+// pre-kernel reference the bit-exactness tests and benches compare against.
 void FillRowsScalar(Rc4KeyGenerator& keygen, uint64_t drop, uint8_t* out,
                     size_t rows, size_t length) {
   for (size_t r = 0; r < rows; ++r) {
@@ -46,47 +60,24 @@ void FillRowsScalar(Rc4KeyGenerator& keygen, uint64_t drop, uint8_t* out,
 }
 
 // Fills rows [0, rows) of the row-major batch buffer with one keystream per
-// key: groups of M rows via the interleaved kernel (stream m stores straight
-// into row m with stride `length`), then a scalar tail for rows % M. Key
-// order matches the keygen draw order, so the batch is byte-identical to the
-// scalar path for every M.
-template <size_t M>
-void FillRowsInterleaved(Rc4KeyGenerator& keygen, uint64_t drop, uint8_t* out,
-                         size_t rows, size_t length) {
+// key: groups of Width() rows via the lane kernel (lane m stores straight
+// into row m with stride `length`), then a scalar tail for the remainder.
+// Key order matches the keygen draw order, so the batch is byte-identical
+// to the scalar path for every kernel and width.
+void FillRowsWithKernel(Rc4LaneKernel& kernel, Rc4KeyGenerator& keygen,
+                        uint64_t drop, uint8_t* out, size_t rows, size_t length,
+                        uint8_t* keybuf) {
+  const size_t lanes = kernel.Width();
   size_t r = 0;
-  for (; r + M <= rows; r += M) {
-    const auto keys = GatherKeys<M>(keygen);
-    Rc4MultiStream<M> streams(keys, kKeySize);
+  for (; r + lanes <= rows; r += lanes) {
+    GatherKeys(keygen, lanes, keybuf);
+    kernel.Init(std::span<const uint8_t>(keybuf, lanes * kKeySize), kKeySize);
     if (drop != 0) {
-      streams.Skip(drop);
+      kernel.Skip(drop);
     }
-    streams.Keystream(out + r * length, length, length);
+    kernel.Keystream(out + r * length, length, length);
   }
   FillRowsScalar(keygen, drop, out + r * length, rows - r, length);
-}
-
-void FillRows(size_t interleave, Rc4KeyGenerator& keygen, uint64_t drop,
-              uint8_t* out, size_t rows, size_t length) {
-  switch (interleave) {
-    case 32:
-      FillRowsInterleaved<32>(keygen, drop, out, rows, length);
-      break;
-    case 16:
-      FillRowsInterleaved<16>(keygen, drop, out, rows, length);
-      break;
-    case 8:
-      FillRowsInterleaved<8>(keygen, drop, out, rows, length);
-      break;
-    case 4:
-      FillRowsInterleaved<4>(keygen, drop, out, rows, length);
-      break;
-    case 2:
-      FillRowsInterleaved<2>(keygen, drop, out, rows, length);
-      break;
-    default:
-      FillRowsScalar(keygen, drop, out, rows, length);
-      break;
-  }
 }
 
 // ------------------------------------------------------------------------
@@ -124,7 +115,7 @@ void StreamKeyScalar(Rc4& rc4, StreamShardSink& sink, const StreamPlan& plan,
 }
 
 // `count` keys through one sink, one at a time on the scalar path — also
-// the remainder loop after interleaved groups.
+// the remainder loop after lockstep groups.
 void StreamKeysScalar(Rc4KeyGenerator& keygen, StreamShardSink& sink,
                       uint64_t count, const StreamPlan& plan, uint8_t* buffer) {
   for (uint64_t k = 0; k < count; ++k) {
@@ -136,43 +127,45 @@ void StreamKeysScalar(Rc4KeyGenerator& keygen, StreamShardSink& sink,
   }
 }
 
-// `count` keys through one sink: groups of M keys generated in lockstep into
-// M chunk buffers (rows of `buffer`, stride chunk + lookahead), windows
-// delivered round-robin in key order (see the StreamShardSink ordering note
-// in keystream_engine.h), then a scalar remainder for count % M keys.
-template <size_t M>
-void StreamKeysInterleaved(Rc4KeyGenerator& keygen, StreamShardSink& sink,
-                           uint64_t count, const StreamPlan& plan,
-                           uint8_t* buffer) {
+// `count` keys through one sink: groups of Width() keys generated in
+// lockstep into per-lane chunk buffers (rows of `buffer`, stride chunk +
+// lookahead), windows delivered round-robin in key order (see the
+// StreamShardSink ordering note in keystream_engine.h), then a scalar
+// remainder for the leftover keys.
+void StreamKeysWithKernel(Rc4LaneKernel& kernel, Rc4KeyGenerator& keygen,
+                          StreamShardSink& sink, uint64_t count,
+                          const StreamPlan& plan, uint8_t* buffer,
+                          uint8_t* keybuf) {
+  const size_t lanes = kernel.Width();
   const size_t stride = plan.chunk + plan.lookahead;
   uint64_t k = 0;
-  for (; k + M <= count; k += M) {
-    const auto keys = GatherKeys<M>(keygen);
-    Rc4MultiStream<M> streams(keys, kKeySize);
+  for (; k + lanes <= count; k += lanes) {
+    GatherKeys(keygen, lanes, keybuf);
+    kernel.Init(std::span<const uint8_t>(keybuf, lanes * kKeySize), kKeySize);
     if (plan.drop != 0) {
-      streams.Skip(plan.drop);
+      kernel.Skip(plan.drop);
     }
-    for (size_t m = 0; m < M; ++m) {
+    for (size_t m = 0; m < lanes; ++m) {
       sink.BeginKey();
     }
-    streams.Keystream(buffer, plan.lookahead, stride);
+    kernel.Keystream(buffer, plan.lookahead, stride);
     for (uint64_t c = 0; c < plan.full_chunks; ++c) {
-      streams.Keystream(buffer + plan.lookahead, plan.chunk, stride);
-      for (size_t m = 0; m < M; ++m) {
+      kernel.Keystream(buffer + plan.lookahead, plan.chunk, stride);
+      for (size_t m = 0; m < lanes; ++m) {
         sink.ConsumeChunk(std::span<const uint8_t>(buffer + m * stride,
                                                    plan.chunk + plan.lookahead),
                           plan.chunk);
       }
       if (plan.lookahead != 0) {
-        for (size_t m = 0; m < M; ++m) {
+        for (size_t m = 0; m < lanes; ++m) {
           std::memmove(buffer + m * stride, buffer + m * stride + plan.chunk,
                        plan.lookahead);
         }
       }
     }
     if (plan.tail != 0) {
-      streams.Keystream(buffer + plan.lookahead, plan.tail, stride);
-      for (size_t m = 0; m < M; ++m) {
+      kernel.Keystream(buffer + plan.lookahead, plan.tail, stride);
+      for (size_t m = 0; m < lanes; ++m) {
         sink.ConsumeChunk(std::span<const uint8_t>(buffer + m * stride,
                                                    plan.tail + plan.lookahead),
                           plan.tail);
@@ -182,41 +175,18 @@ void StreamKeysInterleaved(Rc4KeyGenerator& keygen, StreamShardSink& sink,
   StreamKeysScalar(keygen, sink, count - k, plan, buffer);
 }
 
-void StreamKeys(size_t interleave, Rc4KeyGenerator& keygen,
-                StreamShardSink& sink, uint64_t count, const StreamPlan& plan,
-                uint8_t* buffer) {
-  switch (interleave) {
-    case 32:
-      StreamKeysInterleaved<32>(keygen, sink, count, plan, buffer);
-      break;
-    case 16:
-      StreamKeysInterleaved<16>(keygen, sink, count, plan, buffer);
-      break;
-    case 8:
-      StreamKeysInterleaved<8>(keygen, sink, count, plan, buffer);
-      break;
-    case 4:
-      StreamKeysInterleaved<4>(keygen, sink, count, plan, buffer);
-      break;
-    case 2:
-      StreamKeysInterleaved<2>(keygen, sink, count, plan, buffer);
-      break;
-    default:
-      StreamKeysScalar(keygen, sink, count, plan, buffer);
-      break;
-  }
-}
-
 }  // namespace
 
 void RunKeystreamEngine(const EngineOptions& options, BiasAccumulator& accumulator) {
   const size_t length = accumulator.KeystreamLength();
   assert(length > 0);
-  const size_t interleave = ResolveInterleave(options.interleave);
-  // Batches hold at least one interleave group so the kernel engages even
+  // One dispatch decision per run; every shard instantiates its own kernel
+  // object from it (kernels hold per-group state and are not thread-safe).
+  const KernelChoice choice = ResolveKernelChoice(options.kernel, options.interleave);
+  // Batches hold at least one lockstep group so the kernel engages even
   // with tiny batch_keys settings; counts are batch-size invariant either way.
   const size_t batch_keys =
-      std::max<size_t>(std::max<size_t>(options.batch_keys, 1), interleave);
+      std::max<size_t>(ResolveBatchKeys(options.batch_keys), choice.width);
   std::mutex merge_mutex;
   ParallelChunks(options.keys, options.workers,
                  [&](unsigned /*shard*/, uint64_t begin, uint64_t end) {
@@ -231,11 +201,20 @@ void RunKeystreamEngine(const EngineOptions& options, BiasAccumulator& accumulat
       std::lock_guard<std::mutex> lock(merge_mutex);
       sink = accumulator.MakeShard();
     }
+    std::unique_ptr<Rc4LaneKernel> kernel =
+        choice.width > 1 ? choice.kernel->make(choice.width) : nullptr;
+    assert(choice.width == 1 || kernel != nullptr);  // resolution guarantees it
+    std::vector<uint8_t> keybuf(choice.width * kKeySize);
     AlignedVector<uint8_t> buffer(batch_keys * length, 0);
     for (uint64_t k = begin; k < end;) {
       const size_t rows =
           static_cast<size_t>(std::min<uint64_t>(batch_keys, end - k));
-      FillRows(interleave, keygen, options.drop, buffer.data(), rows, length);
+      if (kernel != nullptr) {
+        FillRowsWithKernel(*kernel, keygen, options.drop, buffer.data(), rows,
+                           length, keybuf.data());
+      } else {
+        FillRowsScalar(keygen, options.drop, buffer.data(), rows, length);
+      }
       sink->Consume(KeystreamBatch{buffer.data(), rows, length});
       k += rows;
     }
@@ -257,7 +236,7 @@ void RunLongTermEngine(const LongTermEngineOptions& options,
   plan.full_chunks = owned_per_key / plan.chunk;
   plan.tail = static_cast<size_t>(owned_per_key % plan.chunk);
   plan.drop = options.drop + accumulator.ExtraDrop();
-  const size_t interleave = ResolveInterleave(options.interleave);
+  const KernelChoice choice = ResolveKernelChoice(options.kernel, options.interleave);
   std::mutex merge_mutex;
   ParallelChunks(options.keys, options.workers,
                  [&](unsigned /*shard*/, uint64_t begin, uint64_t end) {
@@ -268,10 +247,19 @@ void RunLongTermEngine(const LongTermEngineOptions& options,
       std::lock_guard<std::mutex> lock(merge_mutex);
       sink = accumulator.MakeShard();
     }
-    // One chunk-buffer row per lockstep stream, cache-aligned like the
+    std::unique_ptr<Rc4LaneKernel> kernel =
+        choice.width > 1 ? choice.kernel->make(choice.width) : nullptr;
+    assert(choice.width == 1 || kernel != nullptr);  // resolution guarantees it
+    std::vector<uint8_t> keybuf(choice.width * kKeySize);
+    // One chunk-buffer row per lockstep lane, cache-aligned like the
     // short-term batch buffer.
-    AlignedVector<uint8_t> buffer(interleave * (plan.chunk + plan.lookahead), 0);
-    StreamKeys(interleave, keygen, *sink, end - begin, plan, buffer.data());
+    AlignedVector<uint8_t> buffer(choice.width * (plan.chunk + plan.lookahead), 0);
+    if (kernel != nullptr) {
+      StreamKeysWithKernel(*kernel, keygen, *sink, end - begin, plan,
+                           buffer.data(), keybuf.data());
+    } else {
+      StreamKeysScalar(keygen, *sink, end - begin, plan, buffer.data());
+    }
     std::lock_guard<std::mutex> lock(merge_mutex);
     accumulator.MergeShard(*sink, end - begin, owned_per_key);
   });

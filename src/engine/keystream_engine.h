@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 
 namespace rc4b {
 
@@ -81,13 +82,22 @@ struct EngineOptions {
   // the partial grids bit-exactly (src/store/), the same invariance the
   // in-process shards rely on.
   uint64_t first_key = 0;
-  uint64_t drop = 0;        // initial keystream bytes discarded per key
-  size_t batch_keys = 256;  // keystreams per generated batch
-  // RC4 streams generated in lockstep (src/rc4/rc4_multi.h): 0 = auto
-  // (kDefaultInterleave), 1 = scalar Rc4, other values round down to the
-  // nearest supported width. Batches are byte-identical for every width —
-  // the kernel only reorders the schedule, never the per-key math.
+  uint64_t drop = 0;  // initial keystream bytes discarded per key
+  // Keystreams per generated batch; 0 = auto (the host's cached autotune
+  // choice when $RC4B_AUTOTUNE_CACHE is valid, else 256).
+  size_t batch_keys = 256;
+  // RC4 streams generated in lockstep: 0 = auto, 1 = scalar Rc4, other
+  // values round down to the nearest width the selected kernel supports
+  // (logged once when rounding changes the value). Batches are
+  // byte-identical for every width and every kernel — a kernel only
+  // reorders the schedule, never the per-key math.
   size_t interleave = 0;
+  // Lane-kernel selection (src/rc4/kernel_registry.h): "" = auto
+  // ($RC4B_KERNEL env, else the cached autotune choice, else the best
+  // kernel the CPU supports), or an explicit registered name ("scalar",
+  // "ssse3", "avx2", "neon"). Unknown/unavailable names warn once and fall
+  // back to scalar; interleave = 1 is always the scalar oracle.
+  std::string kernel;
 };
 
 // Generates `options.keys` keystreams of accumulator.KeystreamLength() bytes
@@ -154,6 +164,8 @@ struct LongTermEngineOptions {
   // Keys generated in lockstep per shard (see EngineOptions::interleave and
   // the StreamShardSink window-ordering note above). 0 = auto, 1 = scalar.
   size_t interleave = 0;
+  // Lane-kernel selection, same semantics as EngineOptions::kernel.
+  std::string kernel;
 };
 
 // Streams `bytes_per_key` keystream bytes per key (rounded down to whole

@@ -1,0 +1,339 @@
+#include "src/rc4/autotune.h"
+
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "src/common/rng.h"
+#include "src/engine/keystream_engine.h"
+#include "src/rc4/rc4.h"
+
+namespace rc4b {
+
+namespace {
+
+bool ParseU64(std::string_view text, uint64_t* out) {
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+constexpr size_t kKeySize = 16;
+
+std::vector<uint8_t> RandomKeys(size_t count, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<uint8_t> keys(count * kKeySize);
+  rng.Fill(keys);
+  return keys;
+}
+
+bool LaneMatchesScalar(std::span<const uint8_t> key, uint64_t drop,
+                       std::span<const uint8_t> actual) {
+  Rc4 rc4(key);
+  rc4.Skip(drop);
+  for (const uint8_t byte : actual) {
+    if (byte != rc4.Next()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Timing sink: folds one byte per row so the generated batches are consumed
+// through the same virtual-call boundary real accumulators use (and can
+// never be elided), while adding near-zero cost of its own.
+class ChecksumAccumulator final : public BiasAccumulator {
+ public:
+  explicit ChecksumAccumulator(size_t length) : length_(length) {}
+
+  size_t KeystreamLength() const override { return length_; }
+
+  std::unique_ptr<ShardSink> MakeShard() override {
+    class Sink final : public ShardSink {
+     public:
+      explicit Sink(uint8_t* total) : total_(total) {}
+      void Consume(const KeystreamBatch& batch) override {
+        uint8_t sum = 0;
+        for (size_t r = 0; r < batch.rows; ++r) {
+          sum = static_cast<uint8_t>(sum ^ batch.Row(r).front());
+        }
+        *total_ = static_cast<uint8_t>(*total_ ^ sum);
+      }
+      uint8_t* total_;
+    };
+    return std::make_unique<Sink>(&checksum_);
+  }
+
+  void MergeShard(ShardSink& /*shard*/, uint64_t /*keys*/) override {}
+
+  uint8_t checksum() const { return checksum_; }
+
+ private:
+  size_t length_;
+  uint8_t checksum_ = 0;
+};
+
+double TimeCandidate(const AutotuneCandidate& candidate,
+                     const AutotuneOptions& options) {
+  EngineOptions engine;
+  engine.keys = options.keys_per_probe;
+  engine.workers = 1;
+  engine.seed = options.seed;
+  engine.batch_keys = candidate.batch_keys;
+  engine.interleave = candidate.width;
+  engine.kernel = candidate.kernel;
+  double best_s = 0.0;
+  for (int r = 0; r < options.repeats; ++r) {
+    ChecksumAccumulator accumulator(options.keystream_length);
+    const auto start = std::chrono::steady_clock::now();
+    RunKeystreamEngine(engine, accumulator);
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (r == 0 || s < best_s) {
+      best_s = s;
+    }
+  }
+  return best_s > 0.0 ? static_cast<double>(options.keys_per_probe) / best_s : 0.0;
+}
+
+}  // namespace
+
+std::vector<AutotuneCandidate> EnumerateAutotuneCandidates(
+    std::span<const KernelDesc> kernels, std::span<const size_t> batch_sizes) {
+  std::vector<AutotuneCandidate> candidates;
+  for (const KernelDesc& kernel : kernels) {
+    if (!kernel.Available()) {
+      continue;
+    }
+    for (const size_t width : kernel.widths) {
+      for (const size_t batch : batch_sizes) {
+        candidates.push_back(
+            AutotuneCandidate{std::string(kernel.name), width, batch});
+      }
+    }
+  }
+  return candidates;
+}
+
+bool KernelMatchesScalar(Rc4LaneKernel& kernel, uint64_t seed) {
+  const size_t lanes = kernel.Width();
+
+  const auto sweep = [&](uint64_t drop, size_t length, uint64_t case_seed) {
+    const auto keys = RandomKeys(lanes, case_seed);
+    kernel.Init(keys, kKeySize);
+    if (drop != 0) {
+      kernel.Skip(drop);
+    }
+    std::vector<uint8_t> batch(lanes * length);
+    kernel.Keystream(batch.data(), length, length);
+    for (size_t m = 0; m < lanes; ++m) {
+      const auto key = std::span<const uint8_t>(keys).subspan(m * kKeySize, kKeySize);
+      const auto lane = std::span<const uint8_t>(batch).subspan(m * length, length);
+      if (!LaneMatchesScalar(key, drop, lane)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  for (const size_t length : {size_t{1}, size_t{16}, size_t{256}, size_t{513}}) {
+    if (!sweep(0, length, seed ^ length)) {
+      return false;
+    }
+  }
+  for (const uint64_t drop : {uint64_t{1}, uint64_t{256}, uint64_t{1024}}) {
+    if (!sweep(drop, 64, seed ^ (drop << 16))) {
+      return false;
+    }
+  }
+
+  // Split generation: state must carry across Keystream() calls exactly as
+  // in the long-term engine's window loop (stride stays the full row).
+  const auto keys = RandomKeys(lanes, seed ^ 0x5157);
+  kernel.Init(keys, kKeySize);
+  constexpr size_t kTotal = 513;
+  std::vector<uint8_t> pieces(lanes * kTotal);
+  size_t offset = 0;
+  for (const size_t piece : {size_t{1}, size_t{255}, size_t{257}}) {
+    kernel.Keystream(pieces.data() + offset, piece, kTotal);
+    offset += piece;
+  }
+  for (size_t m = 0; m < lanes; ++m) {
+    const auto key = std::span<const uint8_t>(keys).subspan(m * kKeySize, kKeySize);
+    const auto lane = std::span<const uint8_t>(pieces).subspan(m * kTotal, kTotal);
+    if (!LaneMatchesScalar(key, 0, lane)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<AutotuneResult> RunAutotuneSweep(const AutotuneOptions& options,
+                                             std::span<const KernelDesc> kernels) {
+  const auto candidates = EnumerateAutotuneCandidates(kernels, options.batch_sizes);
+  // One verification per (kernel, width): the verdict is independent of
+  // batch_keys, and verifying is not free at width 32.
+  std::map<std::pair<std::string, size_t>, bool> verified;
+  std::vector<AutotuneResult> results;
+  results.reserve(candidates.size());
+  for (const AutotuneCandidate& candidate : candidates) {
+    AutotuneResult result;
+    result.candidate = candidate;
+    const auto key = std::make_pair(candidate.kernel, candidate.width);
+    auto it = verified.find(key);
+    if (it == verified.end()) {
+      const KernelDesc* kernel = FindKernel(candidate.kernel);
+      auto instance = kernel != nullptr ? kernel->make(candidate.width) : nullptr;
+      const bool exact =
+          instance != nullptr && KernelMatchesScalar(*instance, options.seed);
+      it = verified.emplace(key, exact).first;
+    }
+    result.bit_exact = it->second;
+    result.ks_per_s = TimeCandidate(candidate, options);
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+std::optional<AutotuneChoice> PickBestChoice(std::span<const AutotuneResult> results) {
+  const AutotuneResult* best = nullptr;
+  for (const AutotuneResult& result : results) {
+    if (!result.bit_exact) {
+      continue;
+    }
+    if (best == nullptr || result.ks_per_s > best->ks_per_s) {
+      best = &result;
+    }
+  }
+  if (best == nullptr) {
+    return std::nullopt;
+  }
+  AutotuneChoice choice;
+  choice.kernel = best->candidate.kernel;
+  choice.width = best->candidate.width;
+  choice.batch_keys = best->candidate.batch_keys;
+  choice.ks_per_s = best->ks_per_s;
+  choice.host = AutotuneHostname();
+  choice.cpu_features = CpuFeatureString();
+  return choice;
+}
+
+IoStatus SaveAutotuneChoice(const std::string& path, const AutotuneChoice& choice) {
+  std::array<char, 32> rate;
+  std::snprintf(rate.data(), rate.size(), "%.6g", choice.ks_per_s);
+  std::string out;
+  out += "rc4b-autotune 1\n";
+  out += "kernel " + choice.kernel + "\n";
+  out += "width " + std::to_string(choice.width) + "\n";
+  out += "batch_keys " + std::to_string(choice.batch_keys) + "\n";
+  out += "ks_per_s " + std::string(rate.data()) + "\n";
+  out += "host " + choice.host + "\n";
+  out += "cpu_features " + choice.cpu_features + "\n";
+  return WriteFileAtomic(path, out);
+}
+
+std::optional<AutotuneChoice> LoadAutotuneChoice(const std::string& path) {
+  MmapFile map;
+  if (!MmapFile::Open(path, &map).ok()) {
+    return std::nullopt;
+  }
+  const auto bytes = map.bytes();
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+  std::string line;
+  if (!std::getline(in, line) || line != "rc4b-autotune 1") {
+    return std::nullopt;
+  }
+  AutotuneChoice choice;
+  bool have_kernel = false;
+  bool have_width = false;
+  bool have_batch = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      return std::nullopt;
+    }
+    const std::string_view key = std::string_view(line).substr(0, space);
+    const std::string_view value = std::string_view(line).substr(space + 1);
+    uint64_t number = 0;
+    if (key == "kernel") {
+      choice.kernel = std::string(value);
+      have_kernel = true;
+    } else if (key == "width") {
+      if (!ParseU64(value, &number)) {
+        return std::nullopt;
+      }
+      choice.width = static_cast<size_t>(number);
+      have_width = true;
+    } else if (key == "batch_keys") {
+      if (!ParseU64(value, &number)) {
+        return std::nullopt;
+      }
+      choice.batch_keys = static_cast<size_t>(number);
+      have_batch = true;
+    } else if (key == "ks_per_s") {
+      choice.ks_per_s = std::strtod(std::string(value).c_str(), nullptr);
+    } else if (key == "host") {
+      choice.host = std::string(value);
+    } else if (key == "cpu_features") {
+      choice.cpu_features = std::string(value);
+    } else {
+      return std::nullopt;  // unknown field: refuse to guess
+    }
+  }
+  if (!have_kernel || !have_width || !have_batch || choice.width == 0) {
+    return std::nullopt;
+  }
+  return choice;
+}
+
+std::string AutotuneHostname() {
+  std::array<char, 256> buffer{};
+  if (::gethostname(buffer.data(), buffer.size() - 1) != 0) {
+    return "unknown";
+  }
+  return buffer.data();
+}
+
+std::optional<AutotuneChoice> ValidCachedAutotuneChoice() {
+  const char* path = std::getenv("RC4B_AUTOTUNE_CACHE");
+  if (path == nullptr || path[0] == '\0') {
+    return std::nullopt;
+  }
+  const auto reject = [](const char* why) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "rc4b: ignoring $RC4B_AUTOTUNE_CACHE (%s); re-run "
+                   "tools/autotune on this host\n",
+                   why);
+    }
+    return std::nullopt;
+  };
+  const auto choice = LoadAutotuneChoice(path);
+  if (!choice) {
+    return reject("missing or malformed");
+  }
+  if (choice->host != AutotuneHostname()) {
+    return reject("tuned on a different host");
+  }
+  const KernelDesc* kernel = FindKernel(choice->kernel);
+  if (kernel == nullptr || !kernel->Available() ||
+      !kernel->SupportsWidth(choice->width)) {
+    return reject("kernel unavailable on this CPU/build");
+  }
+  return choice;
+}
+
+}  // namespace rc4b

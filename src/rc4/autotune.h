@@ -1,0 +1,116 @@
+// Bench-driven kernel autotuner: sweeps (kernel, lane width, batch_keys) on
+// the host, keeps only configurations that are bit-exact against the scalar
+// Rc4 oracle, and caches the fastest one for the engines to consume.
+//
+// The paper generated its statistics on ~80 heterogeneous machines; which
+// kernel/width/batch combination is fastest is a per-host property (cache
+// sizes, SIMD ISA, core width), so the tuner runs ON the deployment host —
+// `tools/autotune` is the CLI, and sharded campaigns should run it once per
+// machine before `grid_gen` (docs/store.md). The cached choice is consumed
+// by ResolveKernelChoice (src/rc4/kernel_registry.h) whenever dispatch is
+// on auto: export RC4B_AUTOTUNE_CACHE=<file written by tools/autotune>.
+//
+// Everything here is deterministic except the timing itself: candidate
+// enumeration follows registry order, verification uses seeded keys, and
+// the cache file round-trips exactly (tests/rc4/autotune_test.cc).
+#ifndef SRC_RC4_AUTOTUNE_H_
+#define SRC_RC4_AUTOTUNE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/io.h"
+#include "src/rc4/kernel.h"
+#include "src/rc4/kernel_registry.h"
+
+namespace rc4b {
+
+// One sweep point. batch_keys uses the engine's meaning (keystreams per
+// generated batch); width is the kernel's lane count.
+struct AutotuneCandidate {
+  std::string kernel;
+  size_t width = 0;
+  size_t batch_keys = 0;
+
+  bool operator==(const AutotuneCandidate&) const = default;
+};
+
+// Deterministic candidate enumeration: every Available() kernel in `kernels`
+// (registry order) x every supported width (ascending) x every batch size
+// (given order, deduplicated upstream by the caller if desired). The scalar
+// kernel's width-1 point is included — it is the baseline every speedup in
+// the report is relative to.
+std::vector<AutotuneCandidate> EnumerateAutotuneCandidates(
+    std::span<const KernelDesc> kernels, std::span<const size_t> batch_sizes);
+
+// Verifies a kernel instance against the scalar Rc4 oracle: seeded keys,
+// lengths {1, 16, 256, 513}, drops {1, 256, 1024}, and split generation
+// with state carry. Any mismatching byte returns false — the tuner refuses
+// to even time a kernel that fails this (and reports it loudly).
+bool KernelMatchesScalar(Rc4LaneKernel& kernel, uint64_t seed);
+
+// A measured candidate. ks_per_s is keystreams (keys) per second through
+// the real RunKeystreamEngine on one worker; bit_exact is the
+// KernelMatchesScalar verdict (false => ks_per_s is still reported but the
+// candidate is never picked).
+struct AutotuneResult {
+  AutotuneCandidate candidate;
+  double ks_per_s = 0.0;
+  bool bit_exact = false;
+};
+
+struct AutotuneOptions {
+  uint64_t keys_per_probe = 1 << 15;  // keys generated per timing probe
+  size_t keystream_length = 256;      // bytes per key (consec512-style)
+  int repeats = 3;                    // probes per candidate; best is kept
+  uint64_t seed = 1;                  // keygen + verification seed
+  std::vector<size_t> batch_sizes = {64, 256, 1024};
+};
+
+// Runs the full sweep over `kernels` (typically KernelRegistry()). Every
+// candidate is verified, then timed `repeats` times; results keep
+// enumeration order.
+std::vector<AutotuneResult> RunAutotuneSweep(const AutotuneOptions& options,
+                                             std::span<const KernelDesc> kernels);
+
+// The tuner's verdict, as cached on disk: the winning configuration plus
+// the context that scopes its validity (a choice is only trusted on the
+// host that measured it, with the kernel still available).
+struct AutotuneChoice {
+  std::string kernel;
+  size_t width = 0;
+  size_t batch_keys = 0;
+  double ks_per_s = 0.0;
+  std::string host;
+  std::string cpu_features;
+
+  bool operator==(const AutotuneChoice&) const = default;
+};
+
+// Fastest bit-exact result, or nullopt when none qualified.
+std::optional<AutotuneChoice> PickBestChoice(std::span<const AutotuneResult> results);
+
+// Cache persistence: small text file ("rc4b-autotune 1" header, one
+// "key value" line per field), written atomically. Load returns nullopt on
+// any missing/malformed field (a corrupt cache must never steer dispatch).
+IoStatus SaveAutotuneChoice(const std::string& path, const AutotuneChoice& choice);
+std::optional<AutotuneChoice> LoadAutotuneChoice(const std::string& path);
+
+// Hostname used to scope cached choices (same identity JsonTrajectory
+// records in BENCH_*.json).
+std::string AutotuneHostname();
+
+// The cached choice dispatch may trust right now: $RC4B_AUTOTUNE_CACHE is
+// set, the file parses, the host matches, and the kernel is registered,
+// available, and supports the cached width. Anything else returns nullopt
+// (with a once-per-process stderr note when a cache was present but
+// rejected). Consumed by ResolveKernelChoice and by the engines' batch_keys
+// auto mode.
+std::optional<AutotuneChoice> ValidCachedAutotuneChoice();
+
+}  // namespace rc4b
+
+#endif  // SRC_RC4_AUTOTUNE_H_

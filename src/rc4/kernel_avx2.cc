@@ -1,0 +1,58 @@
+// 256-bit transposed-lane RC4 kernel (32 lanes per group). Compiled with
+// -mavx2 (see CMakeLists.txt); runtime dispatch only selects it when cpuid
+// reports AVX2. One __m256i row holds byte v of all 32 lanes, so the j
+// update and both index adds cover 32 streams per instruction; the swap's
+// lane-divergent column accesses stay scalar (see kernel_lanes.h for why).
+// Without AVX2 at compile time (-mno-avx2 fallback build, or a non-x86
+// target) the TU degrades to a stub the registry reports as not compiled in.
+#include <memory>
+
+#include "src/rc4/kernel.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "src/rc4/kernel_lanes.h"
+
+namespace rc4b {
+namespace {
+
+struct Avx256 {
+  static constexpr size_t kWidth = 32;
+  using Reg = __m256i;
+  static Reg Load(const uint8_t* p) {
+    return _mm256_load_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void Store(uint8_t* p, Reg v) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static Reg Add8(Reg a, Reg b) { return _mm256_add_epi8(a, b); }
+  static Reg Zero() { return _mm256_setzero_si256(); }
+  static Reg Set1(uint8_t v) { return _mm256_set1_epi8(static_cast<char>(v)); }
+};
+
+}  // namespace
+
+bool Avx2KernelCompiled() { return true; }
+
+std::unique_ptr<Rc4LaneKernel> MakeAvx2Kernel(size_t width) {
+  if (width != Avx256::kWidth) {
+    return nullptr;
+  }
+  return std::make_unique<TransposedLaneKernel<Avx256>>();
+}
+
+}  // namespace rc4b
+
+#else  // !defined(__AVX2__)
+
+namespace rc4b {
+
+bool Avx2KernelCompiled() { return false; }
+
+std::unique_ptr<Rc4LaneKernel> MakeAvx2Kernel(size_t /*width*/) { return nullptr; }
+
+}  // namespace rc4b
+
+#endif  // defined(__AVX2__)

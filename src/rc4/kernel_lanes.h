@@ -1,0 +1,120 @@
+// Transposed-lane RC4 kernel template, shared by the ISA-specific TUs
+// (kernel_ssse3.cc, kernel_avx2.cc, kernel_neon.cc — each compiled with its
+// own -m flags, so this header must only be included from those files).
+//
+// Layout: where Rc4MultiStream keeps W whole permutations side by side, this
+// kernel transposes them — row v of `st_` holds byte v of ALL lanes, so the
+// lane-invariant accesses become single W-wide vector ops:
+//
+//   * i (and the KSA's key index i mod keylen) never depend on key or state,
+//     so S[i] of all lanes is ONE aligned vector load of row st_[i], and the
+//     key column of all lanes is one load of the transposed key row;
+//   * the j update  j += S[i] (+ key)  is one vector byte-add for all lanes;
+//   * the output index  S[i] + S[j]  is one vector byte-add;
+//   * writing S[i] = old S[j] for all lanes is one vector store of row st_[i].
+//
+// Only the truly lane-divergent accesses stay scalar: reading/writing column
+// m at row j[m] (the swap's S[j] side) and the final output gather
+// S[S[i]+S[j]]. Those are W independent single-byte loads/stores per output
+// byte — no dependency chain between lanes, so they pipeline — while all
+// arithmetic and the entire S[i] row traffic runs at vector width. The math
+// per lane is untouched; bit-exactness versus scalar Rc4 is structural.
+#ifndef SRC_RC4_KERNEL_LANES_H_
+#define SRC_RC4_KERNEL_LANES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "src/rc4/kernel.h"
+
+namespace rc4b {
+
+// V supplies: kWidth, Reg, Load(const uint8_t*), Store(uint8_t*, Reg),
+// Add8(Reg, Reg), Zero(), Set1(uint8_t). Rows of st_/kt_ are kWidth bytes
+// and 64-byte aligned at the base, so every row load/store is aligned.
+template <typename V>
+class TransposedLaneKernel final : public Rc4LaneKernel {
+ public:
+  static constexpr size_t kW = V::kWidth;
+
+  size_t Width() const override { return kW; }
+
+  void Init(std::span<const uint8_t> keys, size_t key_size) override {
+    // Transpose the key material once: kt_ row p holds key byte p of every
+    // lane, indexed by the shared KSA key index i mod key_size.
+    for (size_t p = 0; p < key_size; ++p) {
+      for (size_t m = 0; m < kW; ++m) {
+        kt_[p][m] = keys[m * key_size + p];
+      }
+    }
+    for (size_t v = 0; v < 256; ++v) {
+      V::Store(st_[v], V::Set1(static_cast<uint8_t>(v)));
+    }
+    typename V::Reg j = V::Zero();
+    alignas(64) uint8_t jb[kW];
+    for (size_t i = 0; i < 256; ++i) {
+      j = V::Add8(j, V::Add8(V::Load(st_[i]), V::Load(kt_[i % key_size])));
+      V::Store(jb, j);
+      for (size_t m = 0; m < kW; ++m) {
+        const uint8_t jm = jb[m];
+        const uint8_t si = st_[i][m];
+        st_[i][m] = st_[jm][m];
+        st_[jm][m] = si;
+      }
+    }
+    j_ = V::Zero();
+    i_ = 0;
+  }
+
+  void Skip(uint64_t n) override { Generate<false>(nullptr, n, 0); }
+
+  void Keystream(uint8_t* out, size_t length, size_t stride) override {
+    Generate<true>(out, length, stride);
+  }
+
+ private:
+  template <bool kEmit>
+  void Generate(uint8_t* out, uint64_t length, size_t stride) {
+    typename V::Reg j = j_;
+    uint8_t i = i_;
+    alignas(64) uint8_t jb[kW];
+    alignas(64) uint8_t sib[kW];
+    alignas(64) uint8_t sjb[kW];
+    alignas(64) uint8_t ib[kW];
+    for (uint64_t t = 0; t < length; ++t) {
+      i = static_cast<uint8_t>(i + 1);
+      const typename V::Reg si = V::Load(st_[i]);
+      j = V::Add8(j, si);
+      V::Store(jb, j);
+      V::Store(sib, si);
+      // Lane-divergent half of the swap: fetch old S[j], store old S[i]
+      // there. When j[m] == i this writes S[i] = S[i] (no-op), and the row
+      // store below rewrites st_[i][m] with the same value — still exact.
+      for (size_t m = 0; m < kW; ++m) {
+        const uint8_t jm = jb[m];
+        sjb[m] = st_[jm][m];
+        st_[jm][m] = sib[m];
+      }
+      const typename V::Reg sj = V::Load(sjb);
+      V::Store(st_[i], sj);  // S[i] = old S[j], all lanes at once
+      if constexpr (kEmit) {
+        V::Store(ib, V::Add8(si, sj));
+        for (size_t m = 0; m < kW; ++m) {
+          out[m * stride + t] = st_[ib[m]][m];
+        }
+      }
+    }
+    j_ = j;
+    i_ = i;
+  }
+
+  alignas(64) uint8_t st_[256][kW];
+  alignas(64) uint8_t kt_[256][kW];  // transposed key columns (KSA only)
+  typename V::Reg j_;
+  uint8_t i_ = 0;
+};
+
+}  // namespace rc4b
+
+#endif  // SRC_RC4_KERNEL_LANES_H_

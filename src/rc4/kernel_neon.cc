@@ -1,0 +1,52 @@
+// 128-bit NEON transposed-lane RC4 kernel (16 lanes per group) for aarch64,
+// where Advanced SIMD is architecturally baseline — no cpuid gate needed,
+// the registry lists it whenever the TU compiled in. Same transposed layout
+// and lane split as the x86 kernels (kernel_lanes.h). On non-ARM targets the
+// TU degrades to a stub the registry reports as not compiled in.
+#include <memory>
+
+#include "src/rc4/kernel.h"
+
+#if defined(__aarch64__) || defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+#include "src/rc4/kernel_lanes.h"
+
+namespace rc4b {
+namespace {
+
+struct Neon128 {
+  static constexpr size_t kWidth = 16;
+  using Reg = uint8x16_t;
+  static Reg Load(const uint8_t* p) { return vld1q_u8(p); }
+  static void Store(uint8_t* p, Reg v) { vst1q_u8(p, v); }
+  static Reg Add8(Reg a, Reg b) { return vaddq_u8(a, b); }
+  static Reg Zero() { return vdupq_n_u8(0); }
+  static Reg Set1(uint8_t v) { return vdupq_n_u8(v); }
+};
+
+}  // namespace
+
+bool NeonKernelCompiled() { return true; }
+
+std::unique_ptr<Rc4LaneKernel> MakeNeonKernel(size_t width) {
+  if (width != Neon128::kWidth) {
+    return nullptr;
+  }
+  return std::make_unique<TransposedLaneKernel<Neon128>>();
+}
+
+}  // namespace rc4b
+
+#else  // !ARM
+
+namespace rc4b {
+
+bool NeonKernelCompiled() { return false; }
+
+std::unique_ptr<Rc4LaneKernel> MakeNeonKernel(size_t /*width*/) { return nullptr; }
+
+}  // namespace rc4b
+
+#endif  // ARM

@@ -1,0 +1,59 @@
+// 128-bit transposed-lane RC4 kernel (16 lanes per group). Compiled with
+// -mssse3 (see CMakeLists.txt): the hand-written vector ops below are
+// SSE2-level loads/stores/byte-adds, and the SSSE3 floor additionally lets
+// the compiler use byte shuffles in the lane loops. Runtime dispatch
+// (src/rc4/kernel_registry.cc) only selects this kernel when cpuid reports
+// SSSE3, so the TU's ISA never leaks into a baseline build path. Without
+// SSSE3 at compile time (-mno-ssse3 fallback build, or a non-x86 target)
+// the TU degrades to a stub the registry reports as not compiled in.
+#include <memory>
+
+#include "src/rc4/kernel.h"
+
+#if defined(__SSSE3__)
+
+#include <immintrin.h>
+
+#include "src/rc4/kernel_lanes.h"
+
+namespace rc4b {
+namespace {
+
+struct Sse128 {
+  static constexpr size_t kWidth = 16;
+  using Reg = __m128i;
+  static Reg Load(const uint8_t* p) {
+    return _mm_load_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void Store(uint8_t* p, Reg v) {
+    _mm_store_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  static Reg Add8(Reg a, Reg b) { return _mm_add_epi8(a, b); }
+  static Reg Zero() { return _mm_setzero_si128(); }
+  static Reg Set1(uint8_t v) { return _mm_set1_epi8(static_cast<char>(v)); }
+};
+
+}  // namespace
+
+bool Ssse3KernelCompiled() { return true; }
+
+std::unique_ptr<Rc4LaneKernel> MakeSsse3Kernel(size_t width) {
+  if (width != Sse128::kWidth) {
+    return nullptr;
+  }
+  return std::make_unique<TransposedLaneKernel<Sse128>>();
+}
+
+}  // namespace rc4b
+
+#else  // !defined(__SSSE3__)
+
+namespace rc4b {
+
+bool Ssse3KernelCompiled() { return false; }
+
+std::unique_ptr<Rc4LaneKernel> MakeSsse3Kernel(size_t /*width*/) { return nullptr; }
+
+}  // namespace rc4b
+
+#endif  // defined(__SSSE3__)

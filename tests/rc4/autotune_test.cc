@@ -1,0 +1,265 @@
+#include "src/rc4/autotune.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/io.h"
+#include "src/rc4/kernel.h"
+#include "src/rc4/kernel_registry.h"
+
+namespace rc4b {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+class AutotuneEnvGuard {
+ public:
+  AutotuneEnvGuard() { ::unsetenv("RC4B_AUTOTUNE_CACHE"); }
+  ~AutotuneEnvGuard() { ::unsetenv("RC4B_AUTOTUNE_CACHE"); }
+};
+
+TEST(AutotuneTest, EnumerationIsDeterministicAndOrdered) {
+  const std::vector<size_t> batches = {64, 256};
+  const auto first = EnumerateAutotuneCandidates(KernelRegistry(), batches);
+  const auto second = EnumerateAutotuneCandidates(KernelRegistry(), batches);
+  EXPECT_EQ(first, second);
+
+  // Scalar is always available, so the sweep always starts with its
+  // width-1 baseline — the denominator of every speedup in the report.
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first.front().kernel, "scalar");
+  EXPECT_EQ(first.front().width, 1u);
+  EXPECT_EQ(first.front().batch_keys, 64u);
+
+  // Registry order x ascending widths x given batch order, available
+  // kernels only.
+  size_t expected = 0;
+  for (const KernelDesc& kernel : KernelRegistry()) {
+    if (!kernel.Available()) {
+      continue;
+    }
+    for (const size_t width : kernel.widths) {
+      for (const size_t batch : batches) {
+        ASSERT_LT(expected, first.size());
+        EXPECT_EQ(first[expected].kernel, kernel.name);
+        EXPECT_EQ(first[expected].width, width);
+        EXPECT_EQ(first[expected].batch_keys, batch);
+        ++expected;
+      }
+    }
+  }
+  EXPECT_EQ(expected, first.size());
+}
+
+// A deliberately wrong kernel: correct width, wrong bytes. The verifier
+// must reject it — this is the gate that keeps a miscompiled or buggy ISA
+// kernel out of dispatch entirely.
+class BrokenKernel final : public Rc4LaneKernel {
+ public:
+  explicit BrokenKernel(size_t width) : width_(width) {}
+  size_t Width() const override { return width_; }
+  void Init(std::span<const uint8_t>, size_t) override {}
+  void Skip(uint64_t) override {}
+  void Keystream(uint8_t* out, size_t length, size_t stride) override {
+    for (size_t m = 0; m < width_; ++m) {
+      for (size_t t = 0; t < length; ++t) {
+        out[m * stride + t] = 0x42;
+      }
+    }
+  }
+
+ private:
+  size_t width_;
+};
+
+TEST(AutotuneTest, VerifierRejectsMismatchingKernel) {
+  BrokenKernel broken(4);
+  EXPECT_FALSE(KernelMatchesScalar(broken, 1));
+}
+
+TEST(AutotuneTest, VerifierAcceptsEveryRegisteredKernel) {
+  for (const KernelDesc& desc : KernelRegistry()) {
+    if (!desc.Available()) {
+      continue;
+    }
+    for (const size_t width : desc.widths) {
+      auto kernel = desc.make(width);
+      ASSERT_NE(kernel, nullptr) << desc.name << " width=" << width;
+      EXPECT_TRUE(KernelMatchesScalar(*kernel, 7))
+          << desc.name << " width=" << width;
+    }
+  }
+}
+
+TEST(AutotuneTest, PickBestChoiceIgnoresNonBitExactResults) {
+  std::vector<AutotuneResult> results(3);
+  results[0].candidate = {"scalar", 8, 256};
+  results[0].ks_per_s = 100.0;
+  results[0].bit_exact = true;
+  results[1].candidate = {"avx2", 32, 1024};
+  results[1].ks_per_s = 900.0;  // fastest, but not bit-exact: never picked
+  results[1].bit_exact = false;
+  results[2].candidate = {"ssse3", 16, 64};
+  results[2].ks_per_s = 300.0;
+  results[2].bit_exact = true;
+
+  const auto choice = PickBestChoice(results);
+  ASSERT_TRUE(choice.has_value());
+  EXPECT_EQ(choice->kernel, "ssse3");
+  EXPECT_EQ(choice->width, 16u);
+  EXPECT_EQ(choice->batch_keys, 64u);
+  EXPECT_EQ(choice->host, AutotuneHostname());
+
+  results[0].bit_exact = false;
+  results[2].bit_exact = false;
+  EXPECT_FALSE(PickBestChoice(results).has_value());
+  EXPECT_FALSE(PickBestChoice({}).has_value());
+}
+
+TEST(AutotuneTest, CacheRoundTripsExactly) {
+  AutotuneChoice choice;
+  choice.kernel = "scalar";
+  choice.width = 8;
+  choice.batch_keys = 256;
+  choice.ks_per_s = 123456.0;
+  choice.host = "test-host";
+  choice.cpu_features = "ssse3,avx2";
+
+  const std::string path = TempPath("autotune_roundtrip.txt");
+  ASSERT_TRUE(SaveAutotuneChoice(path, choice).ok());
+  const auto loaded = LoadAutotuneChoice(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, choice);
+}
+
+TEST(AutotuneTest, LoadRejectsMissingAndMalformedCaches) {
+  EXPECT_FALSE(LoadAutotuneChoice(TempPath("no_such_cache.txt")).has_value());
+
+  const auto write = [](const std::string& name, const std::string& content) {
+    const std::string path = TempPath(name);
+    std::ofstream out(path);
+    out << content;
+    out.close();
+    return path;
+  };
+  // Wrong header version.
+  EXPECT_FALSE(LoadAutotuneChoice(write("bad_header.txt",
+                                        "rc4b-autotune 2\nkernel scalar\n"))
+                   .has_value());
+  // Missing required fields.
+  EXPECT_FALSE(LoadAutotuneChoice(write("missing_fields.txt",
+                                        "rc4b-autotune 1\nkernel scalar\n"))
+                   .has_value());
+  // Non-numeric width.
+  EXPECT_FALSE(
+      LoadAutotuneChoice(
+          write("bad_width.txt",
+                "rc4b-autotune 1\nkernel scalar\nwidth x\nbatch_keys 1\n"))
+          .has_value());
+  // Unknown field: refuse to guess.
+  EXPECT_FALSE(
+      LoadAutotuneChoice(write("unknown_field.txt",
+                               "rc4b-autotune 1\nkernel scalar\nwidth 8\n"
+                               "batch_keys 256\nbogus 1\n"))
+          .has_value());
+}
+
+TEST(AutotuneTest, ValidCachedChoiceRequiresEnvHostAndAvailability) {
+  AutotuneEnvGuard guard;
+
+  // No env: nothing cached.
+  EXPECT_FALSE(ValidCachedAutotuneChoice().has_value());
+
+  AutotuneChoice choice;
+  choice.kernel = "scalar";
+  choice.width = 8;
+  choice.batch_keys = 512;
+  choice.ks_per_s = 1.0;
+  choice.host = AutotuneHostname();
+  choice.cpu_features = CpuFeatureString();
+
+  // Matching host + always-available kernel: trusted.
+  const std::string good = TempPath("autotune_cache_good.txt");
+  ASSERT_TRUE(SaveAutotuneChoice(good, choice).ok());
+  ::setenv("RC4B_AUTOTUNE_CACHE", good.c_str(), 1);
+  const auto cached = ValidCachedAutotuneChoice();
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(*cached, choice);
+
+  // Tuned on a different host: rejected.
+  choice.host = "some-other-host";
+  const std::string foreign = TempPath("autotune_cache_foreign.txt");
+  ASSERT_TRUE(SaveAutotuneChoice(foreign, choice).ok());
+  ::setenv("RC4B_AUTOTUNE_CACHE", foreign.c_str(), 1);
+  EXPECT_FALSE(ValidCachedAutotuneChoice().has_value());
+
+  // Unknown kernel name: rejected.
+  choice.host = AutotuneHostname();
+  choice.kernel = "retired-kernel";
+  const std::string unknown = TempPath("autotune_cache_unknown.txt");
+  ASSERT_TRUE(SaveAutotuneChoice(unknown, choice).ok());
+  ::setenv("RC4B_AUTOTUNE_CACHE", unknown.c_str(), 1);
+  EXPECT_FALSE(ValidCachedAutotuneChoice().has_value());
+
+  // Unsupported width for the cached kernel: rejected.
+  choice.kernel = "scalar";
+  choice.width = 7;
+  const std::string bad_width = TempPath("autotune_cache_width.txt");
+  ASSERT_TRUE(SaveAutotuneChoice(bad_width, choice).ok());
+  ::setenv("RC4B_AUTOTUNE_CACHE", bad_width.c_str(), 1);
+  EXPECT_FALSE(ValidCachedAutotuneChoice().has_value());
+}
+
+TEST(AutotuneTest, CachedChoiceSteersAutoDispatch) {
+  AutotuneEnvGuard guard;
+  AutotuneChoice choice;
+  choice.kernel = "scalar";
+  choice.width = 4;  // NOT the default width, so we can see it took effect
+  choice.batch_keys = 512;
+  choice.ks_per_s = 1.0;
+  choice.host = AutotuneHostname();
+  choice.cpu_features = CpuFeatureString();
+  const std::string path = TempPath("autotune_cache_dispatch.txt");
+  ASSERT_TRUE(SaveAutotuneChoice(path, choice).ok());
+  ::setenv("RC4B_AUTOTUNE_CACHE", path.c_str(), 1);
+
+  const KernelChoice resolved = ResolveKernelChoice("", 0);
+  EXPECT_EQ(resolved.name(), "scalar");
+  EXPECT_EQ(resolved.width, 4u);
+
+  // An explicit interleave still overrides the cached width.
+  const KernelChoice explicit_width = ResolveKernelChoice("", 2);
+  EXPECT_EQ(explicit_width.width, 2u);
+}
+
+TEST(AutotuneTest, SweepVerifiesTimesAndPicksScalarBaseline) {
+  AutotuneEnvGuard guard;
+  // A tiny real sweep through the real engine: scalar only, one width, to
+  // keep the test fast while exercising verify + time + pick end to end.
+  AutotuneOptions options;
+  options.keys_per_probe = 1 << 9;
+  options.keystream_length = 64;
+  options.repeats = 1;
+  options.batch_sizes = {64};
+  const KernelDesc scalar[] = {ScalarKernelDesc()};
+  const auto results = RunAutotuneSweep(options, scalar);
+  ASSERT_EQ(results.size(), ScalarKernelDesc().widths.size());
+  for (const AutotuneResult& result : results) {
+    EXPECT_TRUE(result.bit_exact) << result.candidate.kernel << " width="
+                                  << result.candidate.width;
+    EXPECT_GT(result.ks_per_s, 0.0);
+  }
+  const auto best = PickBestChoice(results);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->kernel, "scalar");
+  EXPECT_EQ(best->host, AutotuneHostname());
+}
+
+}  // namespace
+}  // namespace rc4b

@@ -1,0 +1,285 @@
+#include "src/rc4/kernel_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/rc4/kernel.h"
+#include "src/rc4/rc4.h"
+#include "src/rc4/rc4_multi.h"
+
+namespace rc4b {
+namespace {
+
+// Every registered kernel — scalar and each ISA kernel the build + CPU can
+// run — must be byte-identical to the scalar Rc4 oracle at every supported
+// width. This mirrors rc4_multi_test.cc case for case; a SIMD kernel earns
+// its place in dispatch only by passing the exact same sweep.
+
+Bytes RandomKeys(size_t count, size_t key_size, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Bytes keys(count * key_size);
+  rng.Fill(keys);
+  return keys;
+}
+
+Bytes ScalarReference(std::span<const uint8_t> key, uint64_t drop, size_t length) {
+  Rc4 rc4(key);
+  rc4.Skip(drop);
+  Bytes out(length);
+  rc4.Keystream(out);
+  return out;
+}
+
+void ExpectMatchesScalar(const KernelDesc& desc, size_t width, uint64_t drop,
+                         size_t length, uint64_t seed) {
+  const Bytes keys = RandomKeys(width, 16, seed);
+  auto kernel = desc.make(width);
+  ASSERT_NE(kernel, nullptr) << desc.name << " width=" << width;
+  kernel->Init(keys, 16);
+  if (drop != 0) {
+    kernel->Skip(drop);
+  }
+  Bytes batch(width * length);
+  kernel->Keystream(batch.data(), length, length);
+  for (size_t m = 0; m < width; ++m) {
+    const auto key = std::span<const uint8_t>(keys).subspan(m * 16, 16);
+    const Bytes expected = ScalarReference(key, drop, length);
+    const Bytes actual(batch.begin() + m * length, batch.begin() + (m + 1) * length);
+    ASSERT_EQ(actual, expected) << desc.name << " width=" << width << " lane=" << m
+                                << " drop=" << drop << " length=" << length;
+  }
+}
+
+std::vector<const KernelDesc*> AvailableKernels() {
+  std::vector<const KernelDesc*> kernels;
+  for (const KernelDesc& kernel : KernelRegistry()) {
+    if (kernel.Available()) {
+      kernels.push_back(&kernel);
+    }
+  }
+  return kernels;
+}
+
+TEST(KernelSweepTest, RegistryAlwaysHasScalarFirst) {
+  const auto kernels = KernelRegistry();
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_EQ(kernels.front().name, "scalar");
+  EXPECT_TRUE(kernels.front().Available());
+  EXPECT_EQ(&kernels.front(), &ScalarKernelDesc());
+  // x86 builds with SIMD on should see ssse3/avx2 listed (available or not);
+  // every build lists at least the scalar oracle plus the three ISA stubs.
+  EXPECT_EQ(kernels.size(), 4u);
+}
+
+TEST(KernelSweepTest, EveryAvailableKernelMatchesScalarAtEveryWidth) {
+  for (const KernelDesc* desc : AvailableKernels()) {
+    for (const size_t width : desc->widths) {
+      if (width == 1) {
+        continue;  // width 1 IS the oracle
+      }
+      for (const size_t length :
+           {size_t{1}, size_t{16}, size_t{256}, size_t{513}}) {
+        ExpectMatchesScalar(*desc, width, 0, length, 0x1000 ^ length);
+      }
+      for (const uint64_t drop : {uint64_t{1}, uint64_t{256}, uint64_t{1024}}) {
+        ExpectMatchesScalar(*desc, width, drop, 64, 0x2000 ^ (drop << 16));
+      }
+    }
+  }
+}
+
+TEST(KernelSweepTest, SplitGenerationCarriesState) {
+  // Keystream() in several calls must equal one shot — the long-term engine
+  // generates streams window by window from one kernel instance.
+  for (const KernelDesc* desc : AvailableKernels()) {
+    for (const size_t width : desc->widths) {
+      if (width == 1) {
+        continue;
+      }
+      const Bytes keys = RandomKeys(width, 16, 0x3000 ^ width);
+      constexpr size_t kTotal = 513;
+
+      auto one_shot = desc->make(width);
+      ASSERT_NE(one_shot, nullptr);
+      one_shot->Init(keys, 16);
+      Bytes full(width * kTotal);
+      one_shot->Keystream(full.data(), kTotal, kTotal);
+
+      auto split = desc->make(width);
+      ASSERT_NE(split, nullptr);
+      split->Init(keys, 16);
+      Bytes pieces(width * kTotal);
+      size_t offset = 0;
+      for (const size_t piece : {size_t{1}, size_t{255}, size_t{257}}) {
+        split->Keystream(pieces.data() + offset, piece, kTotal);
+        offset += piece;
+      }
+      EXPECT_EQ(pieces, full) << desc->name << " width=" << width;
+    }
+  }
+}
+
+TEST(KernelSweepTest, StridedStoresStayInsideRows) {
+  // stride > length: bytes past `length` in each lane row must be untouched.
+  constexpr size_t kLength = 33;
+  constexpr size_t kStride = 48;
+  for (const KernelDesc* desc : AvailableKernels()) {
+    for (const size_t width : desc->widths) {
+      if (width == 1) {
+        continue;
+      }
+      const Bytes keys = RandomKeys(width, 16, 0x4000 ^ width);
+      Bytes batch(width * kStride, 0xAA);
+      auto kernel = desc->make(width);
+      ASSERT_NE(kernel, nullptr);
+      kernel->Init(keys, 16);
+      kernel->Keystream(batch.data(), kLength, kStride);
+      for (size_t m = 0; m < width; ++m) {
+        const auto key = std::span<const uint8_t>(keys).subspan(m * 16, 16);
+        const Bytes expected = ScalarReference(key, 0, kLength);
+        for (size_t t = 0; t < kLength; ++t) {
+          ASSERT_EQ(batch[m * kStride + t], expected[t])
+              << desc->name << " m=" << m << " t=" << t;
+        }
+        for (size_t t = kLength; t < kStride; ++t) {
+          ASSERT_EQ(batch[m * kStride + t], 0xAA)
+              << desc->name << " m=" << m << " t=" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelSweepTest, ReInitResetsState) {
+  // The engines call Init() once per lockstep group on ONE kernel object;
+  // a stale j/i from the previous group would corrupt every batch after
+  // the first.
+  for (const KernelDesc* desc : AvailableKernels()) {
+    const size_t width = desc->preferred_width;
+    if (width == 1) {
+      continue;
+    }
+    const Bytes keys = RandomKeys(width, 16, 0x5000);
+    auto kernel = desc->make(width);
+    ASSERT_NE(kernel, nullptr);
+    Bytes first(width * 64);
+    kernel->Init(keys, 16);
+    kernel->Keystream(first.data(), 64, 64);
+    // Disturb the state, then re-init with the same keys.
+    kernel->Skip(123);
+    Bytes again(width * 64);
+    kernel->Init(keys, 16);
+    kernel->Keystream(again.data(), 64, 64);
+    EXPECT_EQ(again, first) << desc->name;
+  }
+}
+
+// ------------------------------------------------------------------------
+// Dispatch semantics. These tests manipulate RC4B_KERNEL /
+// RC4B_AUTOTUNE_CACHE, so keep them in this (serial) binary.
+
+class KernelEnvGuard {
+ public:
+  KernelEnvGuard() {
+    ::unsetenv("RC4B_KERNEL");
+    ::unsetenv("RC4B_AUTOTUNE_CACHE");
+  }
+  ~KernelEnvGuard() {
+    ::unsetenv("RC4B_KERNEL");
+    ::unsetenv("RC4B_AUTOTUNE_CACHE");
+  }
+};
+
+TEST(ResolveKernelChoiceTest, InterleaveOneIsAlwaysTheScalarOracle) {
+  KernelEnvGuard guard;
+  // Even a forced ISA kernel must yield to width 1 — the reference path
+  // every bit-exactness comparison anchors to.
+  for (const KernelDesc& kernel : KernelRegistry()) {
+    const KernelChoice choice = ResolveKernelChoice(kernel.name, 1);
+    EXPECT_EQ(choice.name(), "scalar") << "forced " << kernel.name;
+    EXPECT_EQ(choice.width, 1u);
+    EXPECT_EQ(choice.requested, 1u);
+  }
+}
+
+TEST(ResolveKernelChoiceTest, UnknownNameFallsBackToScalar) {
+  KernelEnvGuard guard;
+  const KernelChoice choice = ResolveKernelChoice("no-such-kernel", 0);
+  EXPECT_EQ(choice.name(), "scalar");
+  EXPECT_EQ(choice.width, kDefaultInterleave);
+}
+
+TEST(ResolveKernelChoiceTest, AutoPicksAnAvailableKernelAtItsPreferredWidth) {
+  KernelEnvGuard guard;
+  const KernelChoice choice = ResolveKernelChoice("", 0);
+  ASSERT_NE(choice.kernel, nullptr);
+  EXPECT_TRUE(choice.kernel->Available());
+  EXPECT_EQ(choice.width, choice.kernel->preferred_width);
+  // Auto never picks a lower-priority kernel than some available one.
+  for (const KernelDesc& kernel : KernelRegistry()) {
+    if (kernel.Available()) {
+      EXPECT_GE(choice.kernel->priority, kernel.priority) << kernel.name;
+    }
+  }
+}
+
+TEST(ResolveKernelChoiceTest, ExplicitWidthIsAuthoritativeOverForcedKernel) {
+  KernelEnvGuard guard;
+  // A kernel that cannot run at the resolved width falls back to scalar AT
+  // that width — the user's --interleave always wins.
+  for (const KernelDesc* desc : AvailableKernels()) {
+    if (desc->SupportsWidth(2)) {
+      continue;  // scalar itself: nothing to fall back from
+    }
+    const KernelChoice choice = ResolveKernelChoice(desc->name, 2);
+    EXPECT_EQ(choice.name(), "scalar") << "forced " << desc->name;
+    EXPECT_EQ(choice.width, 2u);
+  }
+}
+
+TEST(ResolveKernelChoiceTest, ForcedKernelRoundsRequestDownToSupportedWidth) {
+  KernelEnvGuard guard;
+  for (const KernelDesc* desc : AvailableKernels()) {
+    const size_t wide = desc->widths.back();
+    // Requesting more than the widest lane count rounds down to it (via
+    // ResolveInterleave, then the kernel's own width table).
+    const KernelChoice choice = ResolveKernelChoice(desc->name, 1000);
+    EXPECT_EQ(choice.name(), desc->name);
+    EXPECT_EQ(choice.width, std::min<size_t>(wide, ResolveInterleave(1000)));
+    EXPECT_EQ(choice.requested, 1000u);
+  }
+}
+
+TEST(ResolveKernelChoiceTest, EnvVariableForcesKernelWhenOptionIsEmpty) {
+  KernelEnvGuard guard;
+  ::setenv("RC4B_KERNEL", "scalar", 1);
+  const KernelChoice from_env = ResolveKernelChoice("", 0);
+  EXPECT_EQ(from_env.name(), "scalar");
+  EXPECT_EQ(from_env.width, kDefaultInterleave);
+
+  // An explicit option name still beats the env.
+  for (const KernelDesc* desc : AvailableKernels()) {
+    const KernelChoice forced = ResolveKernelChoice(desc->name, 0);
+    EXPECT_EQ(forced.name(), desc->name);
+  }
+}
+
+TEST(KernelSweepTest, CpuFeatureStringListsOnlySupportedFeatures) {
+  const std::string features = CpuFeatureString();
+  EXPECT_FALSE(features.empty());
+  for (const KernelDesc& kernel : KernelRegistry()) {
+    if (kernel.features.empty()) {
+      continue;
+    }
+    const bool listed = features.find(kernel.features) != std::string::npos;
+    EXPECT_EQ(listed, kernel.cpu_supports()) << kernel.name;
+  }
+}
+
+}  // namespace
+}  // namespace rc4b

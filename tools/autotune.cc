@@ -1,0 +1,172 @@
+// Bench-driven RC4 kernel autotuner (src/rc4/autotune.h).
+//
+// Sweeps every available lane kernel over its supported widths and a set of
+// engine batch sizes, verifies each kernel bit-exact against the scalar Rc4
+// oracle, times the survivors through the real RunKeystreamEngine, and
+// reports the fastest configuration. Typical use, once per machine before a
+// generation campaign (docs/store.md):
+//
+//   tools/autotune --cache ~/.rc4b-autotune
+//   export RC4B_AUTOTUNE_CACHE=~/.rc4b-autotune   # engines now consume it
+//
+// --list prints the kernel registry with availability on this host (CI uses
+// it to decide which RC4B_KERNEL values it can force on a runner), without
+// running the sweep. The sweep also writes BENCH_autotune.json
+// (bench/harness.h) so nightly CI tracks every candidate's rate alongside
+// the other perf trajectories.
+//
+// Exit status: 0 on success; 1 if any available kernel FAILS bit-exactness
+// (a miscompiled kernel must fail the build loudly, not just lose the race)
+// or no candidate could be tuned.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/common/flags.h"
+#include "src/rc4/autotune.h"
+#include "src/rc4/kernel_registry.h"
+
+namespace rc4b {
+namespace {
+
+std::vector<size_t> ParseBatchSizes(const std::string& text) {
+  std::vector<size_t> sizes;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      comma = text.size();
+    }
+    const std::string item = text.substr(start, comma - start);
+    if (!item.empty()) {
+      const unsigned long long value = std::strtoull(item.c_str(), nullptr, 0);
+      if (value == 0) {
+        std::fprintf(stderr, "autotune: bad --batches entry '%s'\n", item.c_str());
+        std::exit(2);
+      }
+      sizes.push_back(static_cast<size_t>(value));
+    }
+    start = comma + 1;
+  }
+  return sizes;
+}
+
+void PrintRegistry() {
+  std::printf("%-8s %-10s %-10s %-10s %s\n", "kernel", "available", "preferred",
+              "features", "widths");
+  for (const KernelDesc& kernel : KernelRegistry()) {
+    std::string widths;
+    for (const size_t w : kernel.widths) {
+      if (!widths.empty()) {
+        widths.push_back(',');
+      }
+      widths += std::to_string(w);
+    }
+    std::printf("%-8.*s %-10s %-10zu %-10.*s %s\n",
+                static_cast<int>(kernel.name.size()), kernel.name.data(),
+                kernel.Available() ? "yes" : "no", kernel.preferred_width,
+                static_cast<int>(kernel.features.size()), kernel.features.data(),
+                widths.c_str());
+  }
+  std::printf("cpu: %s\n", CpuFeatureString().c_str());
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags(
+      "Sweeps (kernel, width, batch_keys), keeps bit-exact configurations, "
+      "and caches the fastest for the keystream engines");
+  flags.Define("list", "false",
+               "print the kernel registry + availability and exit")
+      .Define("cache", "",
+              "write the winning choice here (consumed via "
+              "$RC4B_AUTOTUNE_CACHE)")
+      .Define("keys-per-probe", "0x8000", "keys generated per timing probe")
+      .Define("length", "256", "keystream bytes per key while timing")
+      .Define("repeats", "3", "probes per candidate (best is kept)")
+      .Define("seed", "1", "keygen + verification seed")
+      .Define("batches", "64,256,1024",
+              "comma-separated batch_keys values to sweep");
+  if (!flags.Parse(argc, argv)) {
+    return 0;
+  }
+  if (flags.GetBool("list")) {
+    PrintRegistry();
+    return 0;
+  }
+
+  AutotuneOptions options;
+  options.keys_per_probe = flags.GetUint("keys-per-probe");
+  options.keystream_length = static_cast<size_t>(flags.GetUint("length"));
+  options.repeats = static_cast<int>(flags.GetInt("repeats"));
+  options.seed = flags.GetUint("seed");
+  options.batch_sizes = ParseBatchSizes(flags.GetString("batches"));
+
+  std::printf("autotune: host=%s cpu=%s keys/probe=%llu repeats=%d\n\n",
+              AutotuneHostname().c_str(), CpuFeatureString().c_str(),
+              static_cast<unsigned long long>(options.keys_per_probe),
+              options.repeats);
+
+  bench::JsonTrajectory json("autotune");
+  json.Add("keys_per_probe", options.keys_per_probe);
+  json.Add("cpu_features", CpuFeatureString());
+
+  const auto results = RunAutotuneSweep(options, KernelRegistry());
+  std::printf("%-8s %6s %11s %14s %s\n", "kernel", "width", "batch_keys",
+              "ks/s", "bit-exact");
+  bool any_mismatch = false;
+  for (const AutotuneResult& result : results) {
+    std::printf("%-8s %6zu %11zu %14.0f %s\n", result.candidate.kernel.c_str(),
+                result.candidate.width, result.candidate.batch_keys,
+                result.ks_per_s, result.bit_exact ? "OK" : "FAILED");
+    any_mismatch |= !result.bit_exact;
+    const std::string point = result.candidate.kernel + "_w" +
+                              std::to_string(result.candidate.width) + "_b" +
+                              std::to_string(result.candidate.batch_keys);
+    json.Add(point + "_ks_per_s", result.ks_per_s);
+  }
+
+  const auto best = PickBestChoice(results);
+  if (!best) {
+    std::fprintf(stderr, "\nautotune: no bit-exact candidate — refusing to pick\n");
+    json.Write();
+    return 1;
+  }
+  const double scalar_baseline =
+      results.empty() ? 0.0 : results.front().ks_per_s;
+  std::printf("\nbest: kernel=%s width=%zu batch_keys=%zu (%.0f ks/s",
+              best->kernel.c_str(), best->width, best->batch_keys,
+              best->ks_per_s);
+  if (scalar_baseline > 0.0) {
+    std::printf(", %.2fx over scalar width 1", best->ks_per_s / scalar_baseline);
+  }
+  std::printf(")\n");
+  json.RecordKernel(best->kernel, best->cpu_features);
+  json.Add("best_width", static_cast<uint64_t>(best->width));
+  json.Add("best_batch_keys", static_cast<uint64_t>(best->batch_keys));
+  json.Add("best_ks_per_s", best->ks_per_s);
+  json.Write();
+
+  const std::string cache = flags.GetString("cache");
+  if (!cache.empty()) {
+    if (const IoStatus status = SaveAutotuneChoice(cache, *best); !status.ok()) {
+      std::fprintf(stderr, "autotune: %s\n", status.message().c_str());
+      return 1;
+    }
+    std::printf("cached to %s (export RC4B_AUTOTUNE_CACHE=%s)\n", cache.c_str(),
+                cache.c_str());
+  }
+
+  if (any_mismatch) {
+    std::fprintf(stderr,
+                 "\nautotune: an available kernel FAILED bit-exactness — "
+                 "this build must not ship\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rc4b
+
+int main(int argc, char** argv) { return rc4b::Run(argc, argv); }

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Perf-trajectory regression gate over BENCH_*.json artifacts.
+
+Compares the current run's bench JSON files (bench/harness.h JsonTrajectory
+format, schema in bench/trajectory/README.md) against a previous run's and
+fails loudly when a throughput metric regressed beyond the threshold.
+
+A point is only compared when it is actually comparable:
+  * same file name (BENCH_engine_sharded_1t.json vs its previous self),
+  * same kernel (the "kernel" field, when present) — a dispatch change is
+    reported as a NOTE, not a perf regression,
+  * same host, unless --allow-cross-host is given (GitHub runners have
+    ephemeral hostnames, so CI passes it and regressions become warnings
+    instead of errors; on a stable perf box the default strict mode holds).
+
+Only rate-like metrics gate (keys such as "*_ks_per_s", "*_per_second",
+"*trials_per_s"): a drop > --threshold (default 15%) on a comparable point
+is an error. Everything else is context.
+
+Usage:
+  tools/check_perf_trajectory.py --previous prev-dir --current cur-dir \
+      [--threshold 0.15] [--allow-cross-host]
+
+Exit status: 1 when a strict comparison regressed (or inputs are unusable),
+0 otherwise. Output uses GitHub error/warning annotations so the failures
+surface on the workflow summary.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+RATE_SUFFIXES = ("_ks_per_s", "_per_second", "_trials_per_s", "_items_per_s")
+
+
+def is_rate_metric(key):
+    return key.endswith(RATE_SUFFIXES) or "_per_second" in key
+
+
+def load_bench_files(directory):
+    """Returns {file name: parsed object} for every BENCH_*.json below."""
+    out = {}
+    for path in sorted(pathlib.Path(directory).rglob("BENCH_*.json")):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                out[path.name] = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"::warning::unreadable {path}: {err}")
+    return out
+
+
+def annotate(kind, message):
+    print(f"::{kind}::{message}")
+
+
+def compare_file(name, prev, cur, threshold, allow_cross_host):
+    """Returns the number of hard failures for one bench file pair."""
+    failures = 0
+    prev_host = prev.get("host", "unknown")
+    cur_host = cur.get("host", "unknown")
+    same_host = prev_host == cur_host
+    if not same_host and not allow_cross_host:
+        annotate(
+            "error",
+            f"{name}: host changed ({prev_host} -> {cur_host}); perf points are "
+            "not comparable — rerun on the same host or pass --allow-cross-host",
+        )
+        return 1
+
+    prev_kernel = prev.get("kernel")
+    cur_kernel = cur.get("kernel")
+    if prev_kernel is not None and cur_kernel is not None and prev_kernel != cur_kernel:
+        annotate(
+            "notice",
+            f"{name}: dispatched kernel changed ({prev_kernel} -> {cur_kernel}); "
+            "skipping rate comparisons for this file",
+        )
+        return 0
+
+    strict = same_host
+    for key, prev_value in prev.items():
+        if not is_rate_metric(key):
+            continue
+        cur_value = cur.get(key)
+        if not isinstance(prev_value, (int, float)) or not isinstance(
+            cur_value, (int, float)
+        ):
+            continue
+        if prev_value <= 0:
+            continue
+        drop = (prev_value - cur_value) / prev_value
+        if drop <= threshold:
+            continue
+        message = (
+            f"{name}: {key} dropped {drop:.1%} "
+            f"({prev_value:.0f} -> {cur_value:.0f}, threshold {threshold:.0%}"
+            f", kernel {cur_kernel or 'n/a'}, host {cur_host})"
+        )
+        if strict:
+            annotate("error", message)
+            failures += 1
+        else:
+            annotate("warning", message + " [cross-host: warning only]")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--previous", required=True, help="dir of previous BENCH_*.json")
+    parser.add_argument("--current", required=True, help="dir of current BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="max allowed fractional drop (default 0.15)")
+    parser.add_argument("--allow-cross-host", action="store_true",
+                        help="downgrade cross-host regressions to warnings")
+    args = parser.parse_args()
+
+    previous = load_bench_files(args.previous)
+    current = load_bench_files(args.current)
+    if not current:
+        annotate("error", f"no BENCH_*.json found under {args.current}")
+        return 1
+    if not previous:
+        # First run ever (or expired artifacts): nothing to gate against.
+        annotate("notice", f"no previous BENCH_*.json under {args.previous}; "
+                           "recording baseline only")
+        return 0
+
+    failures = 0
+    compared = 0
+    for name, prev in sorted(previous.items()):
+        cur = current.get(name)
+        if cur is None:
+            annotate("warning", f"{name}: present in previous run but missing now")
+            continue
+        compared += 1
+        failures += compare_file(name, prev, cur, args.threshold,
+                                 args.allow_cross_host)
+
+    print(f"compared {compared} bench file(s); {failures} regression(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
