@@ -74,6 +74,18 @@ IoStatus ParseMeta(std::span<const uint8_t> bytes, const std::string& path,
   out->bytes_per_key = GetU64(bytes, 7);
   out->samples = GetU64(bytes, 8);
   const uint64_t pair_count = GetU64(bytes, 9);
+  // Bound pair_count by what the section could possibly hold before any
+  // arithmetic on it: (10 + 2 * pair_count) * 8 wraps for pair_count near a
+  // multiple of 2^61, which used to slip a huge count past the size check
+  // below and into reserve()/GetU64() (tests/store/grid_file_corrupt_test.cc).
+  const uint64_t max_pairs =
+      (bytes.size() - kMetaFixedFields * sizeof(uint64_t)) /
+      (2 * sizeof(uint64_t));
+  if (pair_count > max_pairs) {
+    return IoStatus::Fail(path + ": pair count " + std::to_string(pair_count) +
+                          " cannot fit the meta section (" +
+                          std::to_string(bytes.size()) + " bytes)");
+  }
   const uint64_t expected =
       (kMetaFixedFields + 2 * pair_count) * sizeof(uint64_t);
   if (bytes.size() != expected) {
@@ -120,6 +132,16 @@ IoStatus ParseGridImage(std::span<const uint8_t> bytes, const std::string& path,
   const uint64_t cells_offset = GetU64(bytes, 4);
   const uint64_t cells_bytes = GetU64(bytes, 5);
   const uint64_t cells_crc = GetU64(bytes, 6);
+  // Every length below is untrusted; compare by subtraction only. A
+  // meta_bytes near 2^64 used to wrap `kHeaderBytes + meta_bytes` past the
+  // cells_offset check and send subspan() off the end of the mapping
+  // (tests/store/grid_file_corrupt_test.cc).
+  if (meta_bytes > bytes.size() - kHeaderBytes) {
+    return IoStatus::Fail(path + ": meta section of " +
+                          std::to_string(meta_bytes) +
+                          " bytes exceeds the file (" +
+                          std::to_string(bytes.size()) + " bytes)");
+  }
   if (cells_offset % sizeof(uint64_t) != 0 ||
       cells_offset < kHeaderBytes + meta_bytes ||
       cells_offset > bytes.size()) {
