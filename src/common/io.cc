@@ -1,5 +1,6 @@
 #include "src/common/io.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 
@@ -9,6 +10,21 @@
 #include <unistd.h>
 
 namespace rc4b {
+
+namespace {
+
+// Writer-unique temp path. A fixed `path + ".tmp"` let two concurrent
+// writers of the same destination interleave bytes in one temp file and
+// rename a torn image into place; with a (pid, counter) suffix each writer
+// owns its temp file outright (tests/store/concurrency_stress_test.cc races
+// GridCache fills to pin this down).
+std::string UniqueTmpPath(const std::string& path) {
+  static std::atomic<uint64_t> counter{0};
+  return path + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
 
 IoStatus IoStatus::FromErrno(std::string_view op, std::string_view path) {
   std::string message;
@@ -53,7 +69,7 @@ IoStatus MakeDirs(const std::string& path) {
 // ------------------------------------------------------------------ writer --
 
 BinaryWriter::BinaryWriter(const std::string& path)
-    : path_(path), tmp_path_(path + ".tmp") {
+    : path_(path), tmp_path_(UniqueTmpPath(path)) {
   file_ = std::fopen(tmp_path_.c_str(), "wb");
   if (file_ == nullptr) {
     status_ = IoStatus::FromErrno("open", tmp_path_);

@@ -43,8 +43,12 @@ IoStatus WriteFileAtomic(const std::string& path, std::string_view data);
 // not an error.
 IoStatus MakeDirs(const std::string& path);
 
-// Binary writer with atomic commit: all writes go to `path + ".tmp"`;
-// Commit() flushes and renames onto `path`. The destructor commits
+// Binary writer with atomic commit: all writes go to a writer-unique temp
+// file next to `path`; Commit() flushes and renames onto `path`. The temp
+// name embeds the pid and a process-wide counter so concurrent writers
+// targeting the same destination (e.g. two GridCache fills racing on one
+// cache entry) never interleave bytes in a shared temp file — each commits
+// its own complete image and the last rename wins. The destructor commits
 // best-effort if the stream is healthy and Commit() was never called (legacy
 // scope-based usage), and deletes the temp file if any write failed — a
 // half-written artifact never replaces a good one.
@@ -58,6 +62,9 @@ class BinaryWriter {
 
   bool ok() const { return status_.ok(); }
   const IoStatus& status() const { return status_; }
+
+  // Where bytes land until Commit() renames them onto the destination.
+  const std::string& tmp_path() const { return tmp_path_; }
 
   void WriteU64(uint64_t v);
   void WriteDoubles(std::span<const double> values);

@@ -1,8 +1,11 @@
 #include "src/common/io.h"
 
+#include <dirent.h>
+
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <string_view>
 
 #include <gtest/gtest.h>
 
@@ -18,6 +21,28 @@ std::string TempPath(const char* name) {
 bool FileExists(const std::string& path) {
   std::ifstream in(path);
   return in.good();
+}
+
+// True when any sibling of `path` is a leftover temp file for it (temp names
+// are writer-unique — "<path>.tmp.<pid>.<n>" — so exact-name checks no
+// longer work).
+bool TempLeftoverExists(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = path.substr(0, slash);
+  const std::string prefix = path.substr(slash + 1) + ".tmp.";
+  ::DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    return false;
+  }
+  bool found = false;
+  while (const struct ::dirent* entry = ::readdir(handle)) {
+    if (std::string_view(entry->d_name).starts_with(prefix)) {
+      found = true;
+      break;
+    }
+  }
+  ::closedir(handle);
+  return found;
 }
 
 TEST(BinaryIoTest, U64RoundTrip) {
@@ -85,10 +110,11 @@ TEST(BinaryIoTest, CommitIsAtomic) {
   writer.WriteU64(7);
   // Before Commit() the destination must not exist — only the temp file does.
   EXPECT_FALSE(FileExists(path));
-  EXPECT_TRUE(FileExists(path + ".tmp"));
+  EXPECT_TRUE(FileExists(writer.tmp_path()));
+  EXPECT_TRUE(TempLeftoverExists(path));
   ASSERT_TRUE(writer.Commit().ok());
   EXPECT_TRUE(FileExists(path));
-  EXPECT_FALSE(FileExists(path + ".tmp"));
+  EXPECT_FALSE(TempLeftoverExists(path));
   std::remove(path.c_str());
 }
 
@@ -112,7 +138,7 @@ TEST(BinaryIoTest, FailedWriterNeverClobbersExistingFile) {
 TEST(WriteFileAtomicTest, RoundTripAndNoTempLeftover) {
   const std::string path = TempPath("atomic.txt");
   ASSERT_TRUE(WriteFileAtomic(path, "{\"k\": 1}\n").ok());
-  EXPECT_FALSE(FileExists(path + ".tmp"));
+  EXPECT_FALSE(TempLeftoverExists(path));
   std::ifstream in(path);
   std::string line;
   std::getline(in, line);
