@@ -1,0 +1,39 @@
+// Fuzz target: the RC4B_AUTOTUNE_CACHE parser (src/rc4/autotune.cc).
+// The cache file steers kernel dispatch for every engine run on the host, so
+// LoadAutotuneChoice must treat it as untrusted input: arbitrary bytes yield
+// either nullopt or a fully-populated choice — never a crash, a throw, or a
+// half-parsed choice with default-initialized fields steering dispatch.
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+
+#include "src/rc4/autotune.h"
+#include "tests/fuzz/fuzz_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string path = rc4b::fuzz::ScratchPath("input.autotune");
+  if (!rc4b::fuzz::WriteInput(path, data, size)) {
+    return 0;
+  }
+
+  const std::optional<rc4b::AutotuneChoice> choice =
+      rc4b::LoadAutotuneChoice(path);
+  if (choice.has_value()) {
+    // Load promises every field present and sane on success.
+    if (choice->kernel.empty() || choice->width == 0 ||
+        choice->batch_keys == 0) {
+      std::abort();
+    }
+    // An accepted choice must survive the save/load round trip unchanged.
+    const std::string back = rc4b::fuzz::ScratchPath("roundtrip.autotune");
+    if (!rc4b::SaveAutotuneChoice(back, *choice).ok()) {
+      std::abort();
+    }
+    const std::optional<rc4b::AutotuneChoice> again =
+        rc4b::LoadAutotuneChoice(back);
+    if (!again.has_value() || !(*again == *choice)) {
+      std::abort();
+    }
+  }
+  return 0;
+}

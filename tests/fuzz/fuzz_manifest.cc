@@ -1,0 +1,30 @@
+// Fuzz target: the shard-manifest text parser (src/store/manifest.cc).
+// Manifests are operator-edited files, so arbitrary text must produce either
+// a field-level diagnostic or a manifest that then survives full validation
+// — an accepted-but-invalid manifest would send shard runners into
+// inconsistent key ranges.
+#include <cstdint>
+#include <cstdlib>
+
+#include "src/store/manifest.h"
+#include "tests/fuzz/fuzz_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string path = rc4b::fuzz::ScratchPath("input.manifest");
+  if (!rc4b::fuzz::WriteInput(path, data, size)) {
+    return 0;
+  }
+
+  rc4b::store::Manifest manifest;
+  if (rc4b::store::ReadManifest(path, &manifest).ok()) {
+    // Whatever parses must be internally coherent end to end.
+    if (!rc4b::store::ValidateManifest(manifest, path).ok()) {
+      std::abort();  // parser accepted a manifest validation rejects
+    }
+    for (const rc4b::store::ShardEntry& shard : manifest.shards) {
+      (void)rc4b::store::ResolveManifestPath(path, shard.path);
+      (void)rc4b::store::CheckpointPath(shard.path);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared plumbing for the fuzz harnesses in this directory. Every target
+// under test consumes a *file* (the readers validate mmap'd or fopen'd
+// bytes), so each harness round-trips the fuzz input through one per-process
+// scratch file. Deterministic on purpose: fixed file names inside a
+// pid-scoped directory, no wall clock, no randomness — the same input bytes
+// always take the same path through the parser.
+#ifndef TESTS_FUZZ_FUZZ_UTIL_H_
+#define TESTS_FUZZ_FUZZ_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace rc4b::fuzz {
+
+// Per-process scratch directory, created on first use.
+inline const std::string& ScratchDir() {
+  static const std::string dir = [] {
+    const std::string path =
+        "/tmp/rc4b-fuzz-" + std::to_string(::getpid());
+    ::mkdir(path.c_str(), 0700);
+    return path;
+  }();
+  return dir;
+}
+
+inline std::string ScratchPath(const char* name) {
+  return ScratchDir() + "/" + name;
+}
+
+// Writes the raw fuzz input to `path` (plain write; the parsers under test
+// must reject torn files anyway, so atomicity is beside the point here).
+inline bool WriteInput(const std::string& path, const uint8_t* data,
+                       size_t size) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return false;
+  }
+  const bool ok = size == 0 || std::fwrite(data, 1, size, file) == size;
+  std::fclose(file);
+  return ok;
+}
+
+}  // namespace rc4b::fuzz
+
+#endif  // TESTS_FUZZ_FUZZ_UTIL_H_

@@ -1,0 +1,85 @@
+// Replay driver for the fuzz harnesses on toolchains without libFuzzer
+// (RC4B_FUZZ=OFF, the default — gcc has no -fsanitize=fuzzer). Each argument
+// is a corpus file or a directory of corpus files; every input is fed once
+// through LLVMFuzzerTestOneInput in sorted order. This is what the ctest
+// corpus smoke-checks run, so the checked-in seed corpus (including every
+// pinned crash input) is exercised by plain `ctest` on every toolchain.
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool ReadAll(const std::string& path, std::vector<uint8_t>* out) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return false;
+  }
+  out->clear();
+  uint8_t buffer[4096];
+  size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    out->insert(out->end(), buffer, buffer + got);
+  }
+  std::fclose(file);
+  return true;
+}
+
+void CollectInputs(const std::string& path, std::vector<std::string>* out) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    std::fprintf(stderr, "skipping %s: stat failed\n", path.c_str());
+    return;
+  }
+  if (!S_ISDIR(st.st_mode)) {
+    out->push_back(path);
+    return;
+  }
+  ::DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    return;
+  }
+  std::vector<std::string> entries;
+  while (const struct ::dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") {
+      entries.push_back(path + "/" + name);
+    }
+  }
+  ::closedir(dir);
+  std::sort(entries.begin(), entries.end());
+  for (const std::string& entry : entries) {
+    CollectInputs(entry, out);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    CollectInputs(argv[i], &inputs);
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  std::vector<uint8_t> bytes;
+  for (const std::string& input : inputs) {
+    if (!ReadAll(input, &bytes)) {
+      std::fprintf(stderr, "failed to read %s\n", input.c_str());
+      return 2;
+    }
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  }
+  std::printf("replayed %zu input(s) cleanly\n", inputs.size());
+  return 0;
+}

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Unit tests for check_perf_trajectory.py: the comparability matrix (host x
+kernel), the >threshold drop failure, cross-host downgrade to warning, the
+dispatch-change notice, and the baseline-only path."""
+
+import importlib.util
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def load_module():
+    spec = importlib.util.spec_from_file_location(
+        "check_perf_trajectory",
+        os.path.join(TOOLS_DIR, "check_perf_trajectory.py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+CPT = load_module()
+
+
+def bench(host="perfbox", kernel="avx2x8", rate=1000.0, extra=None):
+    point = {
+        "host": host,
+        "kernel": kernel,
+        "engine_ks_per_s": rate,
+        "keys_total": 123456,  # non-rate: never gates
+    }
+    if extra:
+        point.update(extra)
+    return point
+
+
+class CompareFileTest(unittest.TestCase):
+    def compare(self, prev, cur, threshold=0.15, allow_cross_host=False):
+        out = io.StringIO()
+        with redirect_stdout(out):
+            failures = CPT.compare_file("BENCH_t.json", prev, cur, threshold,
+                                        allow_cross_host)
+        return failures, out.getvalue()
+
+    def test_flat_rate_passes(self):
+        failures, output = self.compare(bench(), bench())
+        self.assertEqual(failures, 0)
+        self.assertNotIn("::error::", output)
+
+    def test_small_drop_within_threshold_passes(self):
+        failures, _ = self.compare(bench(rate=1000.0), bench(rate=900.0))
+        self.assertEqual(failures, 0)
+
+    def test_large_drop_fails_with_error_annotation(self):
+        failures, output = self.compare(bench(rate=1000.0), bench(rate=600.0))
+        self.assertEqual(failures, 1)
+        self.assertIn("::error::", output)
+        self.assertIn("engine_ks_per_s", output)
+        self.assertIn("40.0%", output)
+
+    def test_improvement_never_fails(self):
+        failures, _ = self.compare(bench(rate=1000.0), bench(rate=5000.0))
+        self.assertEqual(failures, 0)
+
+    def test_threshold_is_configurable(self):
+        failures, _ = self.compare(bench(rate=1000.0), bench(rate=900.0),
+                                   threshold=0.05)
+        self.assertEqual(failures, 1)
+
+    def test_cross_host_without_flag_is_an_error(self):
+        failures, output = self.compare(bench(host="a"), bench(host="b"))
+        self.assertEqual(failures, 1)
+        self.assertIn("host changed", output)
+        self.assertIn("--allow-cross-host", output)
+
+    def test_cross_host_with_flag_downgrades_drop_to_warning(self):
+        failures, output = self.compare(
+            bench(host="a", rate=1000.0), bench(host="b", rate=100.0),
+            allow_cross_host=True)
+        self.assertEqual(failures, 0)
+        self.assertIn("::warning::", output)
+        self.assertIn("cross-host", output)
+        self.assertNotIn("::error::", output)
+
+    def test_kernel_change_is_a_notice_not_a_regression(self):
+        failures, output = self.compare(
+            bench(kernel="avx2x8", rate=1000.0),
+            bench(kernel="scalar", rate=10.0))
+        self.assertEqual(failures, 0)
+        self.assertIn("::notice::", output)
+        self.assertIn("dispatched kernel changed", output)
+
+    def test_missing_kernel_field_still_compares(self):
+        prev = {"host": "h", "engine_ks_per_s": 1000.0}
+        cur = {"host": "h", "engine_ks_per_s": 100.0}
+        failures, _ = self.compare(prev, cur)
+        self.assertEqual(failures, 1)
+
+    def test_non_rate_metrics_never_gate(self):
+        prev = bench(extra={"keys_total": 1000000})
+        cur = bench(extra={"keys_total": 1})
+        failures, _ = self.compare(prev, cur)
+        self.assertEqual(failures, 0)
+
+    def test_zero_previous_rate_is_skipped(self):
+        failures, _ = self.compare(bench(rate=0.0), bench(rate=0.0))
+        self.assertEqual(failures, 0)
+
+    def test_missing_current_metric_is_skipped(self):
+        prev = bench()
+        cur = bench()
+        del cur["engine_ks_per_s"]
+        failures, _ = self.compare(prev, cur)
+        self.assertEqual(failures, 0)
+
+
+class RateMetricTest(unittest.TestCase):
+    def test_rate_suffixes(self):
+        for key in ("engine_ks_per_s", "requests_per_second",
+                    "sim_trials_per_s", "merge_items_per_s"):
+            self.assertTrue(CPT.is_rate_metric(key), key)
+
+    def test_non_rate_keys(self):
+        for key in ("keys_total", "host", "kernel", "elapsed_s", "workers"):
+            self.assertFalse(CPT.is_rate_metric(key), key)
+
+
+class MainTest(unittest.TestCase):
+    def run_main(self, prev_files, cur_files, *extra_args):
+        with tempfile.TemporaryDirectory() as tmp:
+            prev_dir = os.path.join(tmp, "prev")
+            cur_dir = os.path.join(tmp, "cur")
+            os.makedirs(prev_dir)
+            os.makedirs(cur_dir)
+            for name, content in prev_files.items():
+                with open(os.path.join(prev_dir, name), "w") as fh:
+                    json.dump(content, fh)
+            for name, content in cur_files.items():
+                with open(os.path.join(cur_dir, name), "w") as fh:
+                    json.dump(content, fh)
+            argv = ["check_perf_trajectory.py", "--previous", prev_dir,
+                    "--current", cur_dir, *extra_args]
+            out = io.StringIO()
+            old_argv = sys.argv
+            sys.argv = argv
+            try:
+                with redirect_stdout(out):
+                    code = CPT.main()
+            finally:
+                sys.argv = old_argv
+            return code, out.getvalue()
+
+    def test_no_previous_records_baseline_and_passes(self):
+        code, output = self.run_main({}, {"BENCH_a.json": bench()})
+        self.assertEqual(code, 0)
+        self.assertIn("recording baseline only", output)
+
+    def test_no_current_is_an_error(self):
+        code, output = self.run_main({"BENCH_a.json": bench()}, {})
+        self.assertEqual(code, 1)
+        self.assertIn("no BENCH_*.json", output)
+
+    def test_regression_fails_end_to_end(self):
+        code, output = self.run_main(
+            {"BENCH_a.json": bench(rate=1000.0)},
+            {"BENCH_a.json": bench(rate=100.0)})
+        self.assertEqual(code, 1)
+        self.assertIn("1 regression(s)", output)
+
+    def test_matching_runs_pass_end_to_end(self):
+        code, output = self.run_main(
+            {"BENCH_a.json": bench(), "BENCH_b.json": bench(rate=50.0)},
+            {"BENCH_a.json": bench(), "BENCH_b.json": bench(rate=55.0)})
+        self.assertEqual(code, 0)
+        self.assertIn("compared 2 bench file(s)", output)
+
+    def test_file_missing_now_warns_but_passes(self):
+        code, output = self.run_main(
+            {"BENCH_gone.json": bench(), "BENCH_a.json": bench()},
+            {"BENCH_a.json": bench()})
+        self.assertEqual(code, 0)
+        self.assertIn("missing now", output)
+
+    def test_unreadable_current_json_warns(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            with open(os.path.join(tmp, "BENCH_bad.json"), "w") as fh:
+                fh.write("{not json")
+            out = io.StringIO()
+            with redirect_stdout(out):
+                files = CPT.load_bench_files(tmp)
+            self.assertEqual(files, {})
+            self.assertIn("::warning::", out.getvalue())
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Self-test for lint_invariants.py: seeds one file per violation class and
+asserts the linter flags it with the right rule tag, that the
+// lint:allow(<rule>) escape hatch suppresses exactly that rule, and that the
+real linted directories are currently clean."""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+LINTER = os.path.join(TOOLS_DIR, "lint_invariants.py")
+
+# One representative source line per rule. Each must trip exactly its rule.
+VIOLATIONS = {
+    "rand": "int v = rand() % 256;\n",
+    "srand": "srand(42);\n",
+    "time": "uint64_t seed = time(nullptr);\n",
+    "wall-clock":
+        "auto stamp = std::chrono::system_clock::now();\n",
+    "random-device": "std::random_device device;\n",
+    "unseeded-rng": "std::mt19937 generator;\n",
+    "unordered-iteration":
+        "std::unordered_map<int, int> hist;\n"
+        "for (const auto& entry : hist) counts.push_back(entry.second);\n",
+}
+
+
+def run_linter(*paths):
+    return subprocess.run(
+        [sys.executable, LINTER, *paths],
+        capture_output=True, text=True, check=False)
+
+
+class LintInvariantsTest(unittest.TestCase):
+    def lint_source(self, source):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "probe.cc")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(source)
+            return run_linter(path)
+
+    def test_each_violation_class_is_caught(self):
+        for rule, source in VIOLATIONS.items():
+            with self.subTest(rule=rule):
+                result = self.lint_source(source)
+                self.assertEqual(result.returncode, 1, result.stdout)
+                self.assertIn(f"[{rule}]", result.stdout)
+
+    def test_allow_comment_on_same_line_suppresses(self):
+        for rule, source in VIOLATIONS.items():
+            with self.subTest(rule=rule):
+                lines = source.splitlines(keepends=True)
+                lines[-1] = (lines[-1].rstrip("\n") +
+                             f"  // lint:allow({rule}) test exemption\n")
+                result = self.lint_source("".join(lines))
+                self.assertEqual(result.returncode, 0,
+                                 result.stdout + result.stderr)
+
+    def test_allow_comment_on_previous_line_suppresses(self):
+        source = ("// lint:allow(rand) bench-only jitter\n"
+                  "int v = rand() % 8;\n")
+        result = self.lint_source(source)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_allow_of_other_rule_does_not_suppress(self):
+        source = "int v = rand();  // lint:allow(time)\n"
+        result = self.lint_source(source)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("[rand]", result.stdout)
+
+    def test_mentions_in_comments_and_strings_are_ignored(self):
+        source = ("// rand() and time() are banned here\n"
+                  "const char* kMessage = \"std::random_device is banned\";\n"
+                  "int operand = 3;  // 'rand' inside an identifier\n")
+        result = self.lint_source(source)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_identifiers_containing_rule_names_pass(self):
+        source = ("uint64_t strand(int x) { return x; }\n"
+                  "double runtime(double x) { return x; }\n"
+                  "int v = strand(2) + rc4b::NextTime(3);\n")
+        result = self.lint_source(source)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_steady_clock_is_allowed(self):
+        source = "auto t0 = std::chrono::steady_clock::now();\n"
+        result = self.lint_source(source)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_seeded_rng_is_allowed(self):
+        source = "std::mt19937 generator(options.seed);\n"
+        result = self.lint_source(source)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_unordered_lookup_without_iteration_is_allowed(self):
+        source = ("std::unordered_map<int, int> cache;\n"
+                  "int hit = cache.count(7);\n")
+        result = self.lint_source(source)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_repo_default_directories_are_clean(self):
+        result = run_linter()
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("clean", result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
