@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "src/common/io.h"
@@ -33,9 +34,10 @@ inline void PrintHeader(const std::string& experiment, const std::string& paper_
 }
 
 // Machine-readable perf trajectory: each bench binary writes one
-// BENCH_<name>.json per run next to its stdout table (or into
-// $RC4B_BENCH_JSON_DIR when set), so CI can upload the numbers as artifacts
-// and the trajectory can be diffed across commits. The format is one flat
+// BENCH_<name>.json per run — into $RC4B_BENCH_JSON_DIR when set, else
+// bench/trajectory/ when that directory exists under the cwd (a repo
+// checkout), else next to its stdout table — so CI can upload the numbers
+// as artifacts and the trajectory can be diffed across commits. The format is one flat
 // JSON object: bench name, git revision, wall seconds since construction,
 // then every metric added by the binary (ks/s, trials/s, threads, ...).
 class JsonTrajectory {
@@ -92,6 +94,15 @@ class JsonTrajectory {
     std::string dir;
     if (const char* env = std::getenv("RC4B_BENCH_JSON_DIR")) {
       dir = std::string(env) + "/";
+    } else {
+      // Default into bench/trajectory/ when running from a repo checkout
+      // (the directory exists there), so ad-hoc runs don't strew
+      // BENCH_*.json files across the repo root; any other cwd keeps the
+      // write-next-to-stdout behavior.
+      struct ::stat st {};
+      if (::stat("bench/trajectory", &st) == 0 && S_ISDIR(st.st_mode)) {
+        dir = "bench/trajectory/";
+      }
     }
     const std::string path = dir + "BENCH_" + bench_name_ + ".json";
     const double wall_s =

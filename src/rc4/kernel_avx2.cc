@@ -1,8 +1,10 @@
 // 256-bit transposed-lane RC4 kernel (32 lanes per group). Compiled with
 // -mavx2 (see CMakeLists.txt); runtime dispatch only selects it when cpuid
 // reports AVX2. One __m256i row holds byte v of all 32 lanes, so the j
-// update and both index adds cover 32 streams per instruction; the swap's
-// lane-divergent column accesses stay scalar (see kernel_lanes.h for why).
+// update and both index adds cover 32 streams per instruction. The output
+// column S[S[i]+S[j]] is a vpgatherdd hardware gather (GatherRow below) and
+// emit goes through the tiled transpose path (kernel_lanes.h); only the
+// swap's lane-divergent writes stay scalar (no byte scatter exists).
 // Without AVX2 at compile time (-mno-avx2 fallback build, or a non-x86
 // target) the TU degrades to a stub the registry reports as not compiled in.
 #include <memory>
@@ -14,6 +16,7 @@
 #include <immintrin.h>
 
 #include "src/rc4/kernel_lanes.h"
+#include "src/rc4/kernel_x86_tile.h"
 
 namespace rc4b {
 namespace {
@@ -30,6 +33,37 @@ struct Avx256 {
   static Reg Add8(Reg a, Reg b) { return _mm256_add_epi8(a, b); }
   static Reg Zero() { return _mm256_setzero_si256(); }
   static Reg Set1(uint8_t v) { return _mm256_set1_epi8(static_cast<char>(v)); }
+
+  // Output-column gather (kernel_lanes.h): row[m] = st[idx[m] * 32 + m].
+  // Four vpgatherdd over 8 lanes each read the wanted byte in the gathered
+  // dword's low byte (dword reads overrun st by <= 3 bytes into the
+  // kernel's gather_pad_), then a per-128-lane byte pick + cross-lane
+  // permute packs the 8 low bytes back together.
+  static void GatherRow(const uint8_t* st, const uint8_t* idx, uint8_t* row) {
+    const __m256i lane = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    const __m256i pick = _mm256_setr_epi8(
+        0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+        0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+    for (int g = 0; g < 4; ++g) {
+      const __m256i iv = _mm256_cvtepu8_epi32(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(idx + 8 * g)));
+      const __m256i offsets = _mm256_add_epi32(
+          _mm256_slli_epi32(iv, 5),
+          _mm256_add_epi32(lane, _mm256_set1_epi32(8 * g)));
+      const __m256i dwords = _mm256_i32gather_epi32(
+          reinterpret_cast<const int*>(st), offsets, 1);
+      const __m256i bytes = _mm256_shuffle_epi8(dwords, pick);
+      const __m256i packed = _mm256_permutevar8x32_epi32(
+          bytes, _mm256_setr_epi32(0, 4, 1, 1, 1, 1, 1, 1));
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(row + 8 * g),
+                       _mm256_castsi256_si128(packed));
+    }
+  }
+
+  static void Transpose16x16(const uint8_t* src, size_t src_stride, uint8_t* dst,
+                             size_t dst_stride) {
+    TransposeBlock16x16(src, src_stride, dst, dst_stride);
+  }
 };
 
 }  // namespace

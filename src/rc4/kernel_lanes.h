@@ -1,6 +1,7 @@
 // Transposed-lane RC4 kernel template, shared by the ISA-specific TUs
-// (kernel_ssse3.cc, kernel_avx2.cc, kernel_neon.cc — each compiled with its
-// own -m flags, so this header must only be included from those files).
+// (kernel_ssse3.cc, kernel_avx2.cc, kernel_avx512.cc, kernel_neon.cc — each
+// compiled with its own -m flags, so this header must only be included from
+// those files).
 //
 // Layout: where Rc4MultiStream keeps W whole permutations side by side, this
 // kernel transposes them — row v of `st_` holds byte v of ALL lanes, so the
@@ -13,15 +14,33 @@
 //   * the output index  S[i] + S[j]  is one vector byte-add;
 //   * writing S[i] = old S[j] for all lanes is one vector store of row st_[i].
 //
-// Only the truly lane-divergent accesses stay scalar: reading/writing column
-// m at row j[m] (the swap's S[j] side) and the final output gather
-// S[S[i]+S[j]]. Those are W independent single-byte loads/stores per output
-// byte — no dependency chain between lanes, so they pipeline — while all
-// arithmetic and the entire S[i] row traffic runs at vector width. The math
-// per lane is untouched; bit-exactness versus scalar Rc4 is structural.
+// The only truly lane-divergent accesses are reading/writing column m at row
+// j[m] (the swap's S[j] side) and the final output gather S[S[i]+S[j]].
+// The swap column stays scalar everywhere: its write side would need a
+// byte-granularity scatter, which no supported ISA has (dword scatters would
+// clobber the three neighboring lanes' columns). The OUTPUT side is covered
+// by two optional hooks a trait struct V may provide on top of the required
+// core (kWidth, Reg, Load, Store, Add8, Zero, Set1):
+//
+//   * V::GatherRow(st, idx, row): row[m] = st[idx[m] * kWidth + m] for all
+//     lanes — a hardware dword gather reading each wanted byte (plus a
+//     3-byte overread absorbed by gather_pad_). AVX2/AVX-512 provide it.
+//   * V::Transpose16x16(src, src_stride, dst, dst_stride): 16x16 byte
+//     transpose, enabling TILED EMIT: output bytes are staged into a
+//     contiguous transposed tile (tile_ row c = output byte c of all lanes,
+//     one aligned W-wide store), then block-transposed into the caller's
+//     row-major batch rows as 16-byte streaming stores — instead of W
+//     single-byte strided stores per output position.
+//
+// A trait that provides neither hook (NEON) runs the exact pre-tile scalar
+// column path, byte for byte. The math per lane is untouched in every
+// variant; bit-exactness versus scalar Rc4 is structural, and
+// tests/rc4/kernel_sweep_test.cc plus the autotuner's verify-before-time
+// step re-check it for every (kernel, width, emit path).
 #ifndef SRC_RC4_KERNEL_LANES_H_
 #define SRC_RC4_KERNEL_LANES_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -30,13 +49,26 @@
 
 namespace rc4b {
 
-// V supplies: kWidth, Reg, Load(const uint8_t*), Store(uint8_t*, Reg),
-// Add8(Reg, Reg), Zero(), Set1(uint8_t). Rows of st_/kt_ are kWidth bytes
-// and 64-byte aligned at the base, so every row load/store is aligned.
 template <typename V>
 class TransposedLaneKernel final : public Rc4LaneKernel {
  public:
   static constexpr size_t kW = V::kWidth;
+  // Output positions staged per tile before a transpose flush. 64 keeps the
+  // tile (64 x W bytes) L1-resident at every width and makes whole-tile
+  // fills the common case for the 256-byte workloads.
+  static constexpr size_t kTileCols = 64;
+
+  static constexpr bool kHasTranspose =
+      requires(const uint8_t* src, uint8_t* dst) {
+        V::Transpose16x16(src, size_t{0}, dst, size_t{0});
+      };
+  static constexpr bool kHasGather =
+      requires(const uint8_t* st, const uint8_t* idx, uint8_t* row) {
+        V::GatherRow(st, idx, row);
+      };
+  // The tile flush walks lanes in 16-wide blocks.
+  static_assert(!kHasTranspose || kW % 16 == 0,
+                "tiled emit requires a multiple-of-16 lane count");
 
   size_t Width() const override { return kW; }
 
@@ -70,10 +102,16 @@ class TransposedLaneKernel final : public Rc4LaneKernel {
   void Skip(uint64_t n) override { Generate<false>(nullptr, n, 0); }
 
   void Keystream(uint8_t* out, size_t length, size_t stride) override {
-    Generate<true>(out, length, stride);
+    if constexpr (kHasTranspose) {
+      GenerateTiled(out, length, stride);
+    } else {
+      Generate<true>(out, length, stride);
+    }
   }
 
  private:
+  // Pre-tile path: Skip() for every trait, and emit for traits without a
+  // transpose hook (NEON) — their strided per-byte stores are unchanged.
   template <bool kEmit>
   void Generate(uint8_t* out, uint64_t length, size_t stride) {
     typename V::Reg j = j_;
@@ -109,8 +147,75 @@ class TransposedLaneKernel final : public Rc4LaneKernel {
     i_ = i;
   }
 
+  // Tiled emit: same per-position math as Generate<true>, but the output row
+  // (byte t of every lane) lands in the contiguous tile as ONE aligned
+  // W-wide store (or a hardware gather straight into it), and each full tile
+  // is block-transposed to the caller's row-major layout afterwards. Partial
+  // tiles — a length tail, or a short Keystream() call in a split-generation
+  // sequence — flush their ragged columns bytewise; the seam carries i/j/st_
+  // exactly like every other path, so tile boundaries are invisible in the
+  // byte sequence.
+  void GenerateTiled(uint8_t* out, size_t length, size_t stride) {
+    typename V::Reg j = j_;
+    uint8_t i = i_;
+    alignas(64) uint8_t jb[kW];
+    alignas(64) uint8_t sib[kW];
+    alignas(64) uint8_t sjb[kW];
+    alignas(64) uint8_t ib[kW];
+    size_t t = 0;
+    while (t < length) {
+      const size_t cols = std::min(kTileCols, length - t);
+      for (size_t c = 0; c < cols; ++c) {
+        i = static_cast<uint8_t>(i + 1);
+        const typename V::Reg si = V::Load(st_[i]);
+        j = V::Add8(j, si);
+        V::Store(jb, j);
+        V::Store(sib, si);
+        for (size_t m = 0; m < kW; ++m) {
+          const uint8_t jm = jb[m];
+          sjb[m] = st_[jm][m];
+          st_[jm][m] = sib[m];
+        }
+        const typename V::Reg sj = V::Load(sjb);
+        V::Store(st_[i], sj);
+        V::Store(ib, V::Add8(si, sj));
+        if constexpr (kHasGather) {
+          V::GatherRow(&st_[0][0], ib, tile_[c]);
+        } else {
+          for (size_t m = 0; m < kW; ++m) {
+            tile_[c][m] = st_[ib[m]][m];
+          }
+        }
+      }
+      FlushTile(out + t, cols, stride);
+      t += cols;
+    }
+    j_ = j;
+    i_ = i;
+  }
+
+  // Writes tile_[0..cols) x kW lanes to out[m * stride + c]: full 16-column
+  // blocks through the vector transpose, the ragged remainder bytewise.
+  void FlushTile(uint8_t* out, size_t cols, size_t stride) {
+    size_t c = 0;
+    for (; c + 16 <= cols; c += 16) {
+      for (size_t m = 0; m < kW; m += 16) {
+        V::Transpose16x16(&tile_[c][m], kW, out + m * stride + c, stride);
+      }
+    }
+    for (; c < cols; ++c) {
+      for (size_t m = 0; m < kW; ++m) {
+        out[m * stride + c] = tile_[c][m];
+      }
+    }
+  }
+
   alignas(64) uint8_t st_[256][kW];
+  // GatherRow reads a dword per lane, so the last row's high columns overread
+  // st_ by up to 3 bytes; this slack keeps those reads inside the object.
+  uint8_t gather_pad_[4] = {};
   alignas(64) uint8_t kt_[256][kW];  // transposed key columns (KSA only)
+  alignas(64) uint8_t tile_[kTileCols][kW];  // transposed emit staging
   typename V::Reg j_;
   uint8_t i_ = 0;
 };

@@ -11,13 +11,16 @@
 
 namespace rc4b {
 
-// ISA kernel factories (kernel_ssse3.cc / kernel_avx2.cc / kernel_neon.cc);
-// each TU degrades to a stub reporting Compiled() == false when built
-// without its ISA, so referencing them is safe in every configuration.
+// ISA kernel factories (kernel_ssse3.cc / kernel_avx2.cc / kernel_avx512.cc
+// / kernel_neon.cc); each TU degrades to a stub reporting Compiled() == false
+// when built without its ISA, so referencing them is safe in every
+// configuration.
 bool Ssse3KernelCompiled();
 std::unique_ptr<Rc4LaneKernel> MakeSsse3Kernel(size_t width);
 bool Avx2KernelCompiled();
 std::unique_ptr<Rc4LaneKernel> MakeAvx2Kernel(size_t width);
+bool Avx512KernelCompiled();
+std::unique_ptr<Rc4LaneKernel> MakeAvx512Kernel(size_t width);
 bool NeonKernelCompiled();
 std::unique_ptr<Rc4LaneKernel> MakeNeonKernel(size_t width);
 
@@ -36,6 +39,19 @@ bool CpuHasSsse3() {
 bool CpuHasAvx2() {
 #if defined(__x86_64__) || defined(__i386__)
   return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+// Everything the kernel actually executes: F (gathers, 512-bit moves), BW
+// (byte adds at 512 bits), VBMI (byte shuffles the compiler may emit for the
+// lane loops under -mavx512vbmi).
+bool CpuHasAvx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vbmi");
 #else
   return false;
 #endif
@@ -90,6 +106,8 @@ std::unique_ptr<Rc4LaneKernel> MakeScalarKernel(size_t width) {
       return std::make_unique<ScalarLaneKernel<16>>();
     case 32:
       return std::make_unique<ScalarLaneKernel<32>>();
+    case 64:
+      return std::make_unique<ScalarLaneKernel<64>>();
     default:
       return nullptr;
   }
@@ -97,9 +115,10 @@ std::unique_ptr<Rc4LaneKernel> MakeScalarKernel(size_t width) {
 
 // ------------------------------------------------------------- registry --
 
-constexpr size_t kScalarWidths[] = {1, 2, 4, 8, 16, 32};
+constexpr size_t kScalarWidths[] = {1, 2, 4, 8, 16, 32, 64};
 constexpr size_t kLane16Widths[] = {16};
 constexpr size_t kLane32Widths[] = {32};
+constexpr size_t kLane64Widths[] = {64};
 
 const std::vector<KernelDesc>& Registry() {
   // Scalar first (enumeration baseline), then ISA kernels by ascending
@@ -113,6 +132,8 @@ const std::vector<KernelDesc>& Registry() {
        CpuHasNeon, MakeNeonKernel},
       {"avx2", "avx2", kLane32Widths, 32, /*priority=*/20, Avx2KernelCompiled,
        CpuHasAvx2, MakeAvx2Kernel},
+      {"avx512", "avx512f,avx512bw,avx512vbmi", kLane64Widths, 64,
+       /*priority=*/30, Avx512KernelCompiled, CpuHasAvx512, MakeAvx512Kernel},
   };
   return kernels;
 }

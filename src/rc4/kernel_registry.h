@@ -4,8 +4,9 @@
 // name, the CPU features it needs, the lane widths it supports, and a
 // factory. The scalar round-robin kernel (Rc4MultiStream, the bit-exactness
 // oracle) is always registered and always available; the ISA kernels
-// (ssse3/avx2 on x86, neon on aarch64) are listed whenever their TU compiled
-// in and report Available() only when the running CPU has the features —
+// (ssse3/avx2/avx512 on x86, neon on aarch64) are listed whenever their TU
+// compiled in and report Available() only when the running CPU has the
+// features —
 // dispatch therefore degrades to scalar on any machine, including
 // -mno-avx2 -mno-ssse3 fallback builds (CI asserts this).
 //
@@ -34,7 +35,7 @@
 namespace rc4b {
 
 struct KernelDesc {
-  std::string_view name;      // "scalar" | "ssse3" | "avx2" | "neon"
+  std::string_view name;  // "scalar" | "ssse3" | "avx2" | "avx512" | "neon"
   std::string_view features;  // CPU features required ("" = none)
   std::span<const size_t> widths;  // supported lane counts, ascending
   size_t preferred_width;          // width auto-dispatch picks (interleave 0)

@@ -15,6 +15,7 @@
 #include <immintrin.h>
 
 #include "src/rc4/kernel_lanes.h"
+#include "src/rc4/kernel_x86_tile.h"
 
 namespace rc4b {
 namespace {
@@ -31,6 +32,15 @@ struct Sse128 {
   static Reg Add8(Reg a, Reg b) { return _mm_add_epi8(a, b); }
   static Reg Zero() { return _mm_setzero_si128(); }
   static Reg Set1(uint8_t v) { return _mm_set1_epi8(static_cast<char>(v)); }
+  // Tiled emit (kernel_lanes.h): the output row is one aligned 16-byte store
+  // into the tile instead of 16 strided byte stores. No GatherRow hook — the
+  // 128-bit ISA has no hardware gather, and the whole transposed state is
+  // L1-resident (256 x 16 = 4 KiB), so the scalar column reads already hit
+  // L1 and software prefetch measured as a wash.
+  static void Transpose16x16(const uint8_t* src, size_t src_stride, uint8_t* dst,
+                             size_t dst_stride) {
+    TransposeBlock16x16(src, src_stride, dst, dst_stride);
+  }
 };
 
 }  // namespace

@@ -1,0 +1,63 @@
+// 16x16 byte transpose for the x86 lane kernels' tiled emit
+// (kernel_lanes.h). Shared by kernel_ssse3.cc / kernel_avx2.cc /
+// kernel_avx512.cc, which are each compiled with their own -m flags — the
+// ops here are plain SSE2, the floor of all three, and the wider TUs get
+// the VEX/EVEX encodings of the same instructions for free.
+//
+// Only include from a TU already gated on an x86 SIMD macro (__SSSE3__ /
+// __AVX2__ / __AVX512BW__); the guard below is a second line of defense.
+#ifndef SRC_RC4_KERNEL_X86_TILE_H_
+#define SRC_RC4_KERNEL_X86_TILE_H_
+
+#if defined(__SSE2__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rc4b {
+
+// Transposes the 16x16 byte block at src (rows src_stride apart) into dst
+// (rows dst_stride apart): dst[c * dst_stride + r] = src[r * src_stride + c].
+// Classic four-stage unpack ladder: each stage riffles adjacent register
+// pairs at doubling granularity (8/16/32/64 bit), writing the low halves to
+// the front and the high halves to the back of the register file. Four such
+// stages leave register p holding column bitreverse4(p), so the stores
+// un-reverse the index instead of spending a fifth shuffle stage.
+inline void TransposeBlock16x16(const uint8_t* src, size_t src_stride,
+                                uint8_t* dst, size_t dst_stride) {
+  __m128i x[16];
+  __m128i y[16];
+  for (int r = 0; r < 16; ++r) {
+    x[r] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + r * src_stride));
+  }
+  for (int p = 0; p < 8; ++p) {
+    y[p] = _mm_unpacklo_epi8(x[2 * p], x[2 * p + 1]);
+    y[p + 8] = _mm_unpackhi_epi8(x[2 * p], x[2 * p + 1]);
+  }
+  for (int p = 0; p < 8; ++p) {
+    x[p] = _mm_unpacklo_epi16(y[2 * p], y[2 * p + 1]);
+    x[p + 8] = _mm_unpackhi_epi16(y[2 * p], y[2 * p + 1]);
+  }
+  for (int p = 0; p < 8; ++p) {
+    y[p] = _mm_unpacklo_epi32(x[2 * p], x[2 * p + 1]);
+    y[p + 8] = _mm_unpackhi_epi32(x[2 * p], x[2 * p + 1]);
+  }
+  for (int p = 0; p < 8; ++p) {
+    x[p] = _mm_unpacklo_epi64(y[2 * p], y[2 * p + 1]);
+    x[p + 8] = _mm_unpackhi_epi64(y[2 * p], y[2 * p + 1]);
+  }
+  static constexpr int kBitRev4[16] = {0, 8,  4, 12, 2, 10, 6, 14,
+                                       1, 9, 5, 13, 3, 11, 7, 15};
+  for (int p = 0; p < 16; ++p) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + kBitRev4[p] * dst_stride),
+                     x[p]);
+  }
+}
+
+}  // namespace rc4b
+
+#endif  // defined(__SSE2__)
+
+#endif  // SRC_RC4_KERNEL_X86_TILE_H_

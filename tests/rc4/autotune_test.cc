@@ -18,10 +18,19 @@ std::string TempPath(const std::string& name) {
   return std::string(::testing::TempDir()) + "/" + name;
 }
 
+// Clears both dispatch-steering env vars: RC4B_KERNEL outranks the cache in
+// ResolveKernelChoice, so a forced-kernel CI run (RC4B_KERNEL=avx512 ...)
+// would otherwise defeat the cache-steering assertions below.
 class AutotuneEnvGuard {
  public:
-  AutotuneEnvGuard() { ::unsetenv("RC4B_AUTOTUNE_CACHE"); }
-  ~AutotuneEnvGuard() { ::unsetenv("RC4B_AUTOTUNE_CACHE"); }
+  AutotuneEnvGuard() {
+    ::unsetenv("RC4B_AUTOTUNE_CACHE");
+    ::unsetenv("RC4B_KERNEL");
+  }
+  ~AutotuneEnvGuard() {
+    ::unsetenv("RC4B_AUTOTUNE_CACHE");
+    ::unsetenv("RC4B_KERNEL");
+  }
 };
 
 TEST(AutotuneTest, EnumerationIsDeterministicAndOrdered) {

@@ -71,9 +71,9 @@ TEST(KernelSweepTest, RegistryAlwaysHasScalarFirst) {
   EXPECT_EQ(kernels.front().name, "scalar");
   EXPECT_TRUE(kernels.front().Available());
   EXPECT_EQ(&kernels.front(), &ScalarKernelDesc());
-  // x86 builds with SIMD on should see ssse3/avx2 listed (available or not);
-  // every build lists at least the scalar oracle plus the three ISA stubs.
-  EXPECT_EQ(kernels.size(), 4u);
+  // x86 builds with SIMD on should see ssse3/avx2/avx512 listed (available
+  // or not); every build lists the scalar oracle plus the four ISA stubs.
+  EXPECT_EQ(kernels.size(), 5u);
 }
 
 TEST(KernelSweepTest, EveryAvailableKernelMatchesScalarAtEveryWidth) {
@@ -88,6 +88,128 @@ TEST(KernelSweepTest, EveryAvailableKernelMatchesScalarAtEveryWidth) {
       }
       for (const uint64_t drop : {uint64_t{1}, uint64_t{256}, uint64_t{1024}}) {
         ExpectMatchesScalar(*desc, width, drop, 64, 0x2000 ^ (drop << 16));
+      }
+    }
+  }
+}
+
+TEST(KernelSweepTest, TileSeamLengthsMatchScalar) {
+  // Lengths straddling the 64-column emit tile (kernel_lanes.h): 63/64/65
+  // exercise the ragged flush, the exact-tile path, and a full tile plus a
+  // 1-column remainder; 127/129 cross the second seam with both parities.
+  // Also run each length with stride > length so the ragged flush proves it
+  // honors the row stride, not just packed rows.
+  for (const KernelDesc* desc : AvailableKernels()) {
+    for (const size_t width : desc->widths) {
+      if (width == 1) {
+        continue;
+      }
+      for (const size_t length :
+           {size_t{63}, size_t{64}, size_t{65}, size_t{127}, size_t{129}}) {
+        ExpectMatchesScalar(*desc, width, 0, length, 0x6000 ^ (length << 8));
+
+        const size_t stride = length + 19;
+        const Bytes keys = RandomKeys(width, 16, 0x6100 ^ (length << 8));
+        Bytes batch(width * stride, 0x55);
+        auto kernel = desc->make(width);
+        ASSERT_NE(kernel, nullptr);
+        kernel->Init(keys, 16);
+        kernel->Keystream(batch.data(), length, stride);
+        for (size_t m = 0; m < width; ++m) {
+          const auto key = std::span<const uint8_t>(keys).subspan(m * 16, 16);
+          const Bytes expected = ScalarReference(key, 0, length);
+          for (size_t t = 0; t < length; ++t) {
+            ASSERT_EQ(batch[m * stride + t], expected[t])
+                << desc->name << " width=" << width << " m=" << m << " t=" << t;
+          }
+          for (size_t t = length; t < stride; ++t) {
+            ASSERT_EQ(batch[m * stride + t], 0x55)
+                << desc->name << " width=" << width << " m=" << m << " t=" << t;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelSweepTest, SkipKeystreamInterleavingsCrossTileSeams) {
+  // Alternating Skip() and Keystream() with piece sizes that never align to
+  // the 64-column tile: the kernel's i/j state must carry exactly across
+  // every seam, including a Skip landing mid-tile.
+  struct Step {
+    uint64_t skip;
+    size_t generate;
+  };
+  constexpr Step kSteps[] = {{0, 63},  {1, 64},  {65, 65},
+                             {0, 1},   {63, 129}, {257, 31}};
+  constexpr size_t kTotal = 63 + 64 + 65 + 1 + 129 + 31;
+  for (const KernelDesc* desc : AvailableKernels()) {
+    for (const size_t width : desc->widths) {
+      if (width == 1) {
+        continue;
+      }
+      const Bytes keys = RandomKeys(width, 16, 0x8000 ^ width);
+      auto kernel = desc->make(width);
+      ASSERT_NE(kernel, nullptr);
+      kernel->Init(keys, 16);
+      Bytes batch(width * kTotal);
+      size_t offset = 0;
+      for (const Step& step : kSteps) {
+        if (step.skip != 0) {
+          kernel->Skip(step.skip);
+        }
+        kernel->Keystream(batch.data() + offset, step.generate, kTotal);
+        offset += step.generate;
+      }
+      for (size_t m = 0; m < width; ++m) {
+        Rc4 rc4(std::span<const uint8_t>(keys).subspan(m * 16, 16));
+        Bytes expected(kTotal);
+        size_t out = 0;
+        for (const Step& step : kSteps) {
+          rc4.Skip(step.skip);
+          rc4.Keystream(std::span<uint8_t>(expected).subspan(out, step.generate));
+          out += step.generate;
+        }
+        const Bytes actual(batch.begin() + m * kTotal,
+                           batch.begin() + (m + 1) * kTotal);
+        ASSERT_EQ(actual, expected) << desc->name << " width=" << width
+                                    << " lane=" << m;
+      }
+    }
+  }
+}
+
+TEST(KernelSweepTest, EngineShapedStridedChunksMatchScalar) {
+  // The long-term engine (StreamKeysWithKernel) fills each lane row window
+  // by window: a lookahead prefix, then fixed chunks, then a tail, all at
+  // the full row stride. None of these piece sizes align to the emit tile,
+  // so every boundary lands mid-tile.
+  constexpr size_t kLookahead = 65;
+  constexpr size_t kChunk = 127;
+  constexpr size_t kTail = 63;
+  constexpr size_t kStride = kLookahead + 2 * kChunk + kTail;
+  for (const KernelDesc* desc : AvailableKernels()) {
+    for (const size_t width : desc->widths) {
+      if (width == 1) {
+        continue;
+      }
+      const Bytes keys = RandomKeys(width, 16, 0x9000 ^ width);
+      auto kernel = desc->make(width);
+      ASSERT_NE(kernel, nullptr);
+      kernel->Init(keys, 16);
+      Bytes batch(width * kStride);
+      uint8_t* base = batch.data();
+      kernel->Keystream(base, kLookahead, kStride);
+      kernel->Keystream(base + kLookahead, kChunk, kStride);
+      kernel->Keystream(base + kLookahead + kChunk, kChunk, kStride);
+      kernel->Keystream(base + kLookahead + 2 * kChunk, kTail, kStride);
+      for (size_t m = 0; m < width; ++m) {
+        const auto key = std::span<const uint8_t>(keys).subspan(m * 16, 16);
+        const Bytes expected = ScalarReference(key, 0, kStride);
+        const Bytes actual(batch.begin() + m * kStride,
+                           batch.begin() + (m + 1) * kStride);
+        ASSERT_EQ(actual, expected) << desc->name << " width=" << width
+                                    << " lane=" << m;
       }
     }
   }

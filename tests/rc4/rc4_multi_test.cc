@@ -68,6 +68,7 @@ TEST(Rc4MultiStreamTest, MatchesScalarForEverySupportedWidth) {
   SweepLengthsAndDrops<8>(3);
   SweepLengthsAndDrops<16>(4);
   SweepLengthsAndDrops<32>(5);
+  SweepLengthsAndDrops<64>(6);
 }
 
 TEST(Rc4MultiStreamTest, ShortKeysMatchScalar) {
@@ -127,7 +128,9 @@ TEST(Rc4MultiStreamTest, ResolveInterleaveRoundsDownToSupportedWidths) {
   EXPECT_EQ(ResolveInterleave(16), 16u);
   EXPECT_EQ(ResolveInterleave(31), 16u);
   EXPECT_EQ(ResolveInterleave(32), 32u);
-  EXPECT_EQ(ResolveInterleave(1000), 32u);
+  EXPECT_EQ(ResolveInterleave(63), 32u);
+  EXPECT_EQ(ResolveInterleave(64), 64u);
+  EXPECT_EQ(ResolveInterleave(1000), 64u);
 }
 
 }  // namespace

@@ -7,8 +7,10 @@ fails loudly when a throughput metric regressed beyond the threshold.
 
 A point is only compared when it is actually comparable:
   * same file name (BENCH_engine_sharded_1t.json vs its previous self),
-  * same kernel (the "kernel" field, when present) — a dispatch change is
-    reported as a NOTE, not a perf regression,
+  * same kernel AND same resolved lane width (the "kernel" and "interleave"
+    fields, when present) — a dispatch change, including the same kernel
+    running at a different width, is reported as a NOTE, not a perf
+    regression,
   * same host, unless --allow-cross-host is given (GitHub runners have
     ephemeral hostnames, so CI passes it and regressions become warnings
     instead of errors; on a stable perf box the default strict mode holds).
@@ -75,6 +77,20 @@ def compare_file(name, prev, cur, threshold, allow_cross_host):
             "notice",
             f"{name}: dispatched kernel changed ({prev_kernel} -> {cur_kernel}); "
             "skipping rate comparisons for this file",
+        )
+        return 0
+
+    # Same kernel at a different resolved lane width is the same math on a
+    # different schedule — a dispatch change (e.g. a retuned preferred
+    # width), not a like-for-like perf point.
+    prev_width = prev.get("interleave")
+    cur_width = cur.get("interleave")
+    if prev_width is not None and cur_width is not None and prev_width != cur_width:
+        annotate(
+            "notice",
+            f"{name}: resolved lane width changed ({prev_width} -> {cur_width}, "
+            f"kernel {cur_kernel or 'n/a'}); skipping rate comparisons for "
+            "this file",
         )
         return 0
 

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Unit tests for check_perf_trajectory.py: the comparability matrix (host x
-kernel), the >threshold drop failure, cross-host downgrade to warning, the
-dispatch-change notice, and the baseline-only path."""
+kernel x lane width), the >threshold drop failure, cross-host downgrade to
+warning, the dispatch-change notices (kernel and resolved width), and the
+baseline-only path."""
 
 import importlib.util
 import io
@@ -94,6 +95,31 @@ class CompareFileTest(unittest.TestCase):
         self.assertEqual(failures, 0)
         self.assertIn("::notice::", output)
         self.assertIn("dispatched kernel changed", output)
+
+    def test_width_change_on_same_kernel_is_a_notice_not_a_regression(self):
+        # Same kernel at a different resolved lane width (e.g. a retuned
+        # preferred width) is a dispatch change: notice + skip, never a
+        # regression — even when the rate cratered.
+        failures, output = self.compare(
+            bench(rate=1000.0, extra={"interleave": 32}),
+            bench(rate=10.0, extra={"interleave": 64}))
+        self.assertEqual(failures, 0)
+        self.assertIn("::notice::", output)
+        self.assertIn("resolved lane width changed", output)
+        self.assertIn("32 -> 64", output)
+
+    def test_same_width_still_compares(self):
+        failures, _ = self.compare(
+            bench(rate=1000.0, extra={"interleave": 64}),
+            bench(rate=100.0, extra={"interleave": 64}))
+        self.assertEqual(failures, 1)
+
+    def test_missing_width_field_still_compares(self):
+        # Pre-width-field trajectory points (or benches that never record
+        # it) keep gating on kernel+host alone.
+        failures, _ = self.compare(
+            bench(rate=1000.0), bench(rate=100.0, extra={"interleave": 64}))
+        self.assertEqual(failures, 1)
 
     def test_missing_kernel_field_still_compares(self):
         prev = {"host": "h", "engine_ks_per_s": 1000.0}
