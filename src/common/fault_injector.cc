@@ -1,0 +1,273 @@
+#include "src/common/fault_injector.h"
+
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace rc4b {
+
+namespace {
+
+constexpr const char* kKnownFaults[] = {
+    "kill-at-checkpoint",
+    "torn-final-write",
+    "crc-flip",
+    "delay-io-ms",
+};
+
+uint64_t ParseU64(const std::string& text) {
+  uint64_t value = 0;
+  std::from_chars(text.data(), text.data() + text.size(), value);
+  return value;
+}
+
+std::mutex& EventMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<std::string, uint64_t>& EventMap() {
+  static std::map<std::string, uint64_t> events;
+  return events;
+}
+
+// The faults that simulate a dying host must not run any cleanup: atexit
+// handlers, stream flushes and sanitizer teardown all belong to a graceful
+// exit, and a graceful exit is exactly what these faults deny the process.
+[[noreturn]] void DieLikeAKilledHost() {
+  std::raise(SIGKILL);
+  ::_exit(75);  // unreachable; EX_TEMPFAIL keeps the scheduler retrying
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector() { ReloadFromEnv(); }
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* injector = new FaultInjector();  // leaked: fork-safe
+  return *injector;
+}
+
+void FaultInjector::ReloadFromEnv() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  specs_.clear();
+  state_dir_.clear();
+  checkpoints_seen_ = 0;
+  if (const char* dir = std::getenv("RC4B_FAULT_STATE_DIR")) {
+    state_dir_ = dir;
+  }
+  const char* env = std::getenv("RC4B_FAULTS");
+  if (env == nullptr) {
+    return;
+  }
+  const std::string all(env);
+  size_t begin = 0;
+  while (begin <= all.size()) {
+    size_t end = all.find(';', begin);
+    if (end == std::string::npos) {
+      end = all.size();
+    }
+    const std::string entry = all.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) {
+      continue;
+    }
+    Spec spec;
+    const size_t name_end = entry.find_first_of("=@*");
+    spec.name = entry.substr(0, name_end);
+    size_t pos = name_end;
+    while (pos != std::string::npos && pos < entry.size()) {
+      const char tag = entry[pos];
+      const size_t next = entry.find_first_of("=@*", pos + 1);
+      const std::string field =
+          entry.substr(pos + 1, next == std::string::npos ? next : next - pos - 1);
+      if (tag == '=') {
+        spec.value = field;
+      } else if (tag == '@') {
+        spec.path_match = field;
+      } else {
+        spec.budget = ParseU64(field);
+      }
+      pos = next;
+    }
+    bool known = false;
+    for (const char* name : kKnownFaults) {
+      known = known || spec.name == name;
+    }
+    if (!known) {
+      std::fprintf(stderr, "fault_injector: unknown fault '%s' ignored\n",
+                   spec.name.c_str());
+      continue;
+    }
+    specs_.push_back(std::move(spec));
+  }
+}
+
+bool FaultInjector::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !specs_.empty();
+}
+
+bool FaultInjector::Claim(const char* name, const std::string& path, uint64_t nth,
+                          Spec* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    Spec& spec = specs_[i];
+    if (spec.name != name) {
+      continue;
+    }
+    if (!spec.path_match.empty()) {
+      // A trailing '$' anchors the match to the end of the path — needed to
+      // hit "…-shard2.grid" without also hitting "…-shard2.grid.ckpt".
+      std::string_view want = spec.path_match;
+      if (want.back() == '$') {
+        want.remove_suffix(1);
+        if (path.size() < want.size() ||
+            std::string_view(path).substr(path.size() - want.size()) != want) {
+          continue;
+        }
+      } else if (path.find(want) == std::string::npos) {
+        continue;
+      }
+    }
+    if (nth != 0 && ParseU64(spec.value) != nth) {
+      continue;
+    }
+    if (spec.budget != 0) {
+      if (spec.fired >= spec.budget) {
+        continue;
+      }
+      if (!state_dir_.empty()) {
+        // Campaign-wide budget: each firing claims a ticket file, so a fault
+        // spent by one worker process stays spent for every retry after it.
+        bool claimed = false;
+        for (uint64_t k = 0; k < spec.budget && !claimed; ++k) {
+          const std::string ticket = state_dir_ + "/fault" + std::to_string(i) +
+                                     ".ticket" + std::to_string(k);
+          const int fd = ::open(ticket.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+          if (fd >= 0) {
+            ::close(fd);
+            claimed = true;
+          } else if (errno != EEXIST) {
+            return false;  // state dir unusable: fail safe, inject nothing
+          }
+        }
+        if (!claimed) {
+          spec.fired = spec.budget;
+          continue;
+        }
+      }
+    }
+    ++spec.fired;
+    *out = spec;
+    return true;
+  }
+  return false;
+}
+
+void FaultInjector::OnCheckpointCommitted() {
+  uint64_t nth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    nth = ++checkpoints_seen_;
+    if (specs_.empty()) {
+      return;
+    }
+  }
+  Spec spec;
+  if (Claim("kill-at-checkpoint", std::string(), nth, &spec)) {
+    DieLikeAKilledHost();
+  }
+}
+
+void FaultInjector::BeforeWrite(const std::string& dest_path) {
+  if (!enabled()) {
+    return;
+  }
+  Spec spec;
+  if (Claim("delay-io-ms", dest_path, 0, &spec)) {
+    NoteEvent("fault-delay-io");
+    std::this_thread::sleep_for(std::chrono::milliseconds(ParseU64(spec.value)));
+  }
+}
+
+void FaultInjector::MaybeTearCommit(const std::string& tmp_path,
+                                    const std::string& dest_path) {
+  if (!enabled()) {
+    return;
+  }
+  Spec spec;
+  if (!Claim("torn-final-write", dest_path, 0, &spec)) {
+    return;
+  }
+  // Clobber the destination with the front half of the image — the write a
+  // non-atomic filesystem would leave behind — then die mid-"rename".
+  std::vector<uint8_t> image;
+  if (std::FILE* in = std::fopen(tmp_path.c_str(), "rb")) {
+    uint8_t buffer[4096];
+    size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+      image.insert(image.end(), buffer, buffer + got);
+    }
+    std::fclose(in);
+  }
+  if (std::FILE* out = std::fopen(dest_path.c_str(), "wb")) {
+    std::fwrite(image.data(), 1, image.size() / 2, out);
+    std::fflush(out);
+    std::fclose(out);
+  }
+  std::remove(tmp_path.c_str());
+  DieLikeAKilledHost();
+}
+
+void FaultInjector::AfterCommit(const std::string& dest_path) {
+  if (!enabled()) {
+    return;
+  }
+  Spec spec;
+  if (!Claim("crc-flip", dest_path, 0, &spec)) {
+    return;
+  }
+  NoteEvent("fault-crc-flip");
+  if (std::FILE* file = std::fopen(dest_path.c_str(), "r+b")) {
+    std::fseek(file, 0, SEEK_END);
+    const long size = std::ftell(file);
+    if (size > 0) {
+      std::fseek(file, size / 2, SEEK_SET);
+      const int byte = std::fgetc(file);
+      if (byte != EOF) {
+        std::fseek(file, size / 2, SEEK_SET);
+        std::fputc(byte ^ 0x01, file);
+      }
+    }
+    std::fclose(file);
+  }
+}
+
+void FaultInjector::NoteEvent(const char* event) {
+  std::lock_guard<std::mutex> lock(EventMutex());
+  ++EventMap()[event];
+}
+
+uint64_t FaultInjector::EventCount(const std::string& event) {
+  std::lock_guard<std::mutex> lock(EventMutex());
+  const auto it = EventMap().find(event);
+  return it == EventMap().end() ? 0 : it->second;
+}
+
+void FaultInjector::ResetEventsForTest() {
+  std::lock_guard<std::mutex> lock(EventMutex());
+  EventMap().clear();
+}
+
+}  // namespace rc4b

@@ -1,0 +1,98 @@
+// Deterministic, env-driven fault injection for the campaign chaos suite.
+// Long campaigns die of partial failure — killed workers, torn final writes,
+// silent media corruption, stalled disks — so every one of those failure
+// modes is producible on demand and exercised in CI (docs/orchestrate.md).
+//
+// Faults are declared in RC4B_FAULTS as ';'-separated specs:
+//
+//   name[=value][@path-substring][*budget]
+//
+//   kill-at-checkpoint=N        raise SIGKILL right after this process
+//                               durably commits its Nth checkpoint
+//   torn-final-write[@s]        at commit time, clobber the destination with
+//                               a truncated image instead of the atomic
+//                               rename, then SIGKILL — the crash a
+//                               non-atomic filesystem would expose
+//   crc-flip[@s]                after a successful commit, flip one byte in
+//                               the middle of the destination file (silent
+//                               corruption the CRC sections must catch)
+//   delay-io-ms=M[@s]           sleep M milliseconds before a write — stalls
+//                               a worker past its lease heartbeat deadline
+//
+// `@s` restricts a fault to destination paths containing the substring `s`;
+// a trailing '$' anchors it to the end of the path ("@shard2.grid$" hits the
+// final grid but not its ".ckpt").
+// `*budget` caps firings (default 1; `*0` = unlimited). Budgets are
+// process-local unless RC4B_FAULT_STATE_DIR names a directory, in which case
+// firings claim ticket files there and the budget spans every process of the
+// campaign — "kill one worker once", not "kill every retry forever".
+//
+// The injector also keeps cheap named event counters (NoteEvent/EventCount)
+// so tests can observe invisible syscalls such as the durability fsyncs.
+#ifndef SRC_COMMON_FAULT_INJECTOR_H_
+#define SRC_COMMON_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rc4b {
+
+class FaultInjector {
+ public:
+  // Process-wide instance; first use parses the environment.
+  static FaultInjector& Instance();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Re-parses RC4B_FAULTS / RC4B_FAULT_STATE_DIR. Tests call this after
+  // changing the environment; campaign workers call it right after fork so
+  // the inherited environment, not the parent's parse, is authoritative.
+  void ReloadFromEnv();
+
+  bool enabled() const;
+
+  // --- hook points ---------------------------------------------------------
+  // ShardRunner, after a checkpoint commits durably ("kill-at-checkpoint").
+  void OnCheckpointCommitted();
+  // BinaryWriter::Write, before bytes land in the temp file ("delay-io-ms").
+  void BeforeWrite(const std::string& dest_path);
+  // BinaryWriter commit, instead of the atomic rename ("torn-final-write").
+  // Does not return if the fault fires.
+  void MaybeTearCommit(const std::string& tmp_path, const std::string& dest_path);
+  // BinaryWriter commit, after a successful rename ("crc-flip").
+  void AfterCommit(const std::string& dest_path);
+
+  // --- observation counters (tests) ----------------------------------------
+  static void NoteEvent(const char* event);
+  static uint64_t EventCount(const std::string& event);
+  static void ResetEventsForTest();
+
+ private:
+  struct Spec {
+    std::string name;
+    std::string value;       // numeric parameter, fault-specific
+    std::string path_match;  // empty = any destination path
+    uint64_t budget = 1;     // 0 = unlimited
+    uint64_t fired = 0;      // process-local firings
+  };
+
+  FaultInjector();
+
+  // Finds an armed spec matching (name, path) — and, when nth != 0, whose
+  // numeric value equals nth — and consumes one firing from its budget
+  // (including the cross-process ticket). Copies the spec to *out; returns
+  // false if nothing matches or the budget is spent.
+  bool Claim(const char* name, const std::string& path, uint64_t nth, Spec* out);
+
+  mutable std::mutex mutex_;
+  std::vector<Spec> specs_;
+  std::string state_dir_;
+  uint64_t checkpoints_seen_ = 0;
+};
+
+}  // namespace rc4b
+
+#endif  // SRC_COMMON_FAULT_INJECTOR_H_

@@ -9,6 +9,8 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "src/common/fault_injector.h"
+
 namespace rc4b {
 
 namespace {
@@ -24,6 +26,32 @@ std::string UniqueTmpPath(const std::string& path) {
          std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
 }
 
+// Directory that holds `path`, for the post-rename directory fsync.
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  return slash == 0 ? "/" : path.substr(0, slash);
+}
+
+// fsync the directory entry so the rename itself survives a host crash.
+IoStatus SyncParentDir(const std::string& path) {
+  const std::string dir = ParentDir(path);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return IoStatus::FromErrno("open dir", dir);
+  }
+  if (::fsync(fd) != 0) {
+    const IoStatus status = IoStatus::FromErrno("fsync dir", dir);
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  FaultInjector::NoteEvent("fsync-dir");
+  return IoStatus::Ok();
+}
+
 }  // namespace
 
 IoStatus IoStatus::FromErrno(std::string_view op, std::string_view path) {
@@ -33,7 +61,7 @@ IoStatus IoStatus::FromErrno(std::string_view op, std::string_view path) {
   message.append(path);
   message.append(": ");
   message.append(std::strerror(errno));
-  return Fail(std::move(message));
+  return Transient(std::move(message));
 }
 
 IoStatus WriteFileAtomic(const std::string& path, std::string_view data) {
@@ -91,6 +119,7 @@ void BinaryWriter::Write(const void* data, size_t bytes, const char* what) {
   if (!status_.ok() || finished_ || bytes == 0) {
     return;
   }
+  FaultInjector::Instance().BeforeWrite(path_);
   if (std::fwrite(data, 1, bytes, file_) != bytes) {
     status_ = IoStatus::FromErrno(what, tmp_path_);
   }
@@ -110,7 +139,11 @@ void BinaryWriter::WriteBytes(std::span<const uint8_t> bytes) {
   Write(bytes.data(), bytes.size_bytes(), "write bytes to");
 }
 
-IoStatus BinaryWriter::Commit() {
+IoStatus BinaryWriter::Commit() { return CommitImpl(/*durable=*/false); }
+
+IoStatus BinaryWriter::CommitDurable() { return CommitImpl(/*durable=*/true); }
+
+IoStatus BinaryWriter::CommitImpl(bool durable) {
   if (finished_) {
     return status_;
   }
@@ -123,6 +156,17 @@ IoStatus BinaryWriter::Commit() {
     Abandon();
     return status_;
   }
+  if (durable) {
+    // Flush-to-disk before the rename: the rename must only ever expose a
+    // fully persisted image, otherwise a crash could leave the destination
+    // pointing at data the kernel never wrote back.
+    if (::fsync(::fileno(file_)) != 0) {
+      status_ = IoStatus::FromErrno("fsync", tmp_path_);
+      Abandon();
+      return status_;
+    }
+    FaultInjector::NoteEvent("fsync-file");
+  }
   if (std::fclose(file_) != 0) {
     status_ = IoStatus::FromErrno("close", tmp_path_);
     file_ = nullptr;
@@ -131,10 +175,19 @@ IoStatus BinaryWriter::Commit() {
   }
   file_ = nullptr;
   finished_ = true;
+  FaultInjector::Instance().MaybeTearCommit(tmp_path_, path_);
   if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
     status_ = IoStatus::FromErrno("rename " + tmp_path_ + " to", path_);
     std::remove(tmp_path_.c_str());
+    return status_;
   }
+  if (durable) {
+    if (IoStatus synced = SyncParentDir(path_); !synced.ok()) {
+      status_ = std::move(synced);
+      return status_;
+    }
+  }
+  FaultInjector::Instance().AfterCommit(path_);
   return status_;
 }
 

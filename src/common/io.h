@@ -18,19 +18,36 @@
 
 namespace rc4b {
 
+// Failure classification carried alongside the message. The campaign
+// scheduler and the grid tools map it onto distinct process exit codes
+// (src/common/retry.h): transient failures (syscall errors, lost leases) are
+// worth retrying on the same input, data failures (corrupt file, provenance
+// mismatch) never are.
+enum class IoErrorKind : uint8_t {
+  kData = 0,   // corrupt input / bad provenance / usage — retry cannot help
+  kTransient,  // environment failure (I/O, lease lost) — retry may succeed
+};
+
 // Success or a human-readable failure with path + errno context. Replaces
 // the old bare-bool results: a failed load now says *which* file and *why*
 // ("open /data/sb.grid: No such file or directory"), which is what shard
 // operators and the grid_merge tool surface to the user.
 struct IoStatus {
   std::string error;  // empty == success
+  IoErrorKind kind = IoErrorKind::kData;
 
   bool ok() const { return error.empty(); }
+  bool transient() const { return !ok() && kind == IoErrorKind::kTransient; }
   const std::string& message() const { return error; }
 
   static IoStatus Ok() { return IoStatus{}; }
   static IoStatus Fail(std::string message) { return IoStatus{std::move(message)}; }
+  static IoStatus Transient(std::string message) {
+    return IoStatus{std::move(message), IoErrorKind::kTransient};
+  }
   // "op path: strerror(errno)" — call immediately after the failing syscall.
+  // Classified transient: errno failures describe the environment, not the
+  // data, so a retry (possibly on another host) may succeed.
   static IoStatus FromErrno(std::string_view op, std::string_view path);
 };
 
@@ -75,7 +92,15 @@ class BinaryWriter {
   // flush, or rename); after Commit() the writer is inert.
   IoStatus Commit();
 
+  // Commit() with crash durability: fsync the temp file before the rename
+  // and fsync the parent directory after it, so a host crash immediately
+  // after the call cannot resurrect the pre-rename file. Checkpoints and
+  // final shard grids use this — a resumed worker must never trust a
+  // checkpoint newer than what the disk actually holds.
+  IoStatus CommitDurable();
+
  private:
+  IoStatus CommitImpl(bool durable);
   void Write(const void* data, size_t bytes, const char* what);
   void Abandon();  // close + unlink the temp file
 

@@ -1,0 +1,47 @@
+#include "src/common/retry.h"
+
+#include <algorithm>
+
+namespace rc4b {
+
+namespace {
+
+// SplitMix64 finalizer (same mixer src/common/rng.h seeds Xoshiro with):
+// full-avalanche, so consecutive (salt, attempt) pairs land anywhere in the
+// jitter range.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+int ExitCodeForStatus(const IoStatus& status) {
+  if (status.ok()) {
+    return kExitOk;
+  }
+  return status.transient() ? kExitRetryable : kExitFatal;
+}
+
+uint64_t RetryPolicy::DelayMs(uint32_t attempt, uint64_t salt) const {
+  if (attempt == 0) {
+    return 0;
+  }
+  const uint32_t shift = std::min<uint32_t>(attempt - 1, 62);
+  // base << shift, saturating at max_delay_ms (max >> shift compares without
+  // overflowing where base << shift could). base == 0 disables backoff.
+  uint64_t delay = max_delay_ms;
+  if (base_delay_ms == 0) {
+    delay = 0;
+  } else if (base_delay_ms <= (max_delay_ms >> shift)) {
+    delay = base_delay_ms << shift;
+  }
+  const uint64_t jitter_span = delay / 2 + 1;
+  const uint64_t jitter =
+      Mix64(jitter_seed ^ Mix64(salt) ^ (uint64_t{attempt} << 32)) % jitter_span;
+  return std::min(delay + jitter, max_delay_ms);
+}
+
+}  // namespace rc4b

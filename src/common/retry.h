@@ -1,0 +1,47 @@
+// Shared retry/backoff policy and the process exit-code contract of the grid
+// tools and campaign workers. The campaign scheduler decides "retry or
+// quarantine?" purely from these two signals, so every tool in the pipeline
+// classifies failures the same way (docs/orchestrate.md):
+//
+//   0   success
+//   1   fatal — corrupt input, bad provenance, usage; retrying cannot help
+//   3   degraded — campaign finished but quarantined shards (partial merge)
+//   75  retryable — transient I/O, lost lease (EX_TEMPFAIL convention)
+#ifndef SRC_COMMON_RETRY_H_
+#define SRC_COMMON_RETRY_H_
+
+#include <cstdint>
+
+#include "src/common/io.h"
+
+namespace rc4b {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitFatal = 1;
+inline constexpr int kExitDegraded = 3;
+inline constexpr int kExitRetryable = 75;
+
+// Maps a status onto the exit-code contract above: ok -> 0, transient
+// (I/O, lease lost) -> 75, data/provenance -> 1.
+int ExitCodeForStatus(const IoStatus& status);
+
+// Capped exponential backoff with deterministic jitter. Like every random
+// stream in this codebase the jitter is seeded, not sampled: the same
+// (jitter_seed, salt, attempt) triple always backs off identically, so a
+// replayed campaign schedules identically, while different salts (shard
+// indices) spread their retries instead of thundering in lockstep.
+struct RetryPolicy {
+  uint32_t max_attempts = 4;     // total launches per shard before quarantine
+  uint64_t base_delay_ms = 100;  // backoff after the first failure
+  uint64_t max_delay_ms = 5000;  // cap on any single backoff
+  uint64_t jitter_seed = 1;      // jitter stream identity
+
+  // Backoff to wait after `attempt` failures (attempt >= 1): exponential
+  // base_delay_ms * 2^(attempt-1), plus jitter in [0, delay/2], both capped
+  // at max_delay_ms.
+  uint64_t DelayMs(uint32_t attempt, uint64_t salt) const;
+};
+
+}  // namespace rc4b
+
+#endif  // SRC_COMMON_RETRY_H_

@@ -1,0 +1,207 @@
+#include "src/orchestrate/lease.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace rc4b::orchestrate {
+
+namespace {
+
+constexpr std::string_view kHeader = "rc4b-lease 1";
+
+// Consumes one '\n'-terminated line. A final line without a newline is
+// rejected — every writer emits a trailing newline, so its absence means a
+// torn write.
+bool NextLine(std::string_view* rest, std::string_view* line) {
+  const size_t nl = rest->find('\n');
+  if (nl == std::string_view::npos) {
+    return false;
+  }
+  *line = rest->substr(0, nl);
+  rest->remove_prefix(nl + 1);
+  return true;
+}
+
+// "key value" with exactly one space; returns the value or empty on shape
+// mismatch (empty is never a valid value here).
+std::string_view FieldValue(std::string_view line, std::string_view key) {
+  if (line.size() <= key.size() + 1 || line.substr(0, key.size()) != key ||
+      line[key.size()] != ' ') {
+    return {};
+  }
+  return line.substr(key.size() + 1);
+}
+
+template <typename T>
+bool ParseNumber(std::string_view token, T* out) {
+  if (token.empty()) {
+    return false;
+  }
+  const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(),
+                                         *out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+bool ValidOwnerToken(std::string_view owner) {
+  if (owner.empty()) {
+    return false;
+  }
+  for (const char c : owner) {
+    if (c <= 0x20 || c > 0x7e) {  // printable ASCII, no whitespace
+      return false;
+    }
+  }
+  return true;
+}
+
+IoStatus ParseError(const std::string& context, const char* what) {
+  return IoStatus::Fail("lease " + context + ": " + what);
+}
+
+}  // namespace
+
+std::string LeasePath(const std::string& shard_path) { return shard_path + ".lease"; }
+
+std::string FormatLease(const Lease& lease) {
+  std::string text(kHeader);
+  text += "\nowner ";
+  text += lease.owner;
+  text += "\nacquired_ms ";
+  text += std::to_string(lease.acquired_ms);
+  text += "\nheartbeat_ms ";
+  text += std::to_string(lease.heartbeat_ms);
+  text += "\nattempt ";
+  text += std::to_string(lease.attempt);
+  text += "\n";
+  return text;
+}
+
+IoStatus ParseLease(std::string_view text, const std::string& context, Lease* out) {
+  std::string_view line;
+  if (!NextLine(&text, &line) || line != kHeader) {
+    return ParseError(context, "bad header (want 'rc4b-lease 1')");
+  }
+  Lease lease;
+  if (!NextLine(&text, &line)) {
+    return ParseError(context, "truncated before owner");
+  }
+  const std::string_view owner = FieldValue(line, "owner");
+  if (!ValidOwnerToken(owner)) {
+    return ParseError(context, "bad owner line");
+  }
+  lease.owner = std::string(owner);
+  if (!NextLine(&text, &line) ||
+      !ParseNumber(FieldValue(line, "acquired_ms"), &lease.acquired_ms)) {
+    return ParseError(context, "bad acquired_ms line");
+  }
+  if (!NextLine(&text, &line) ||
+      !ParseNumber(FieldValue(line, "heartbeat_ms"), &lease.heartbeat_ms)) {
+    return ParseError(context, "bad heartbeat_ms line");
+  }
+  if (!NextLine(&text, &line) ||
+      !ParseNumber(FieldValue(line, "attempt"), &lease.attempt)) {
+    return ParseError(context, "bad attempt line");
+  }
+  if (!text.empty()) {
+    return ParseError(context, "trailing data after attempt");
+  }
+  *out = std::move(lease);
+  return IoStatus::Ok();
+}
+
+IoStatus ReadLeaseFile(const std::string& path, Lease* out) {
+  MmapFile map;
+  if (IoStatus status = MmapFile::Open(path, &map); !status.ok()) {
+    return status;  // errno-classified: missing/unreadable is transient
+  }
+  const std::string_view text(reinterpret_cast<const char*>(map.bytes().data()),
+                              map.bytes().size());
+  return ParseLease(text, path, out);
+}
+
+IoStatus AcquireLease(const std::string& path, const std::string& owner,
+                      uint64_t now_ms, uint64_t ttl_ms, uint32_t attempt,
+                      Lease* out) {
+  const Lease lease{owner, now_ms, now_ms, attempt};
+  const std::string image = FormatLease(lease);
+
+  // Fresh claim: O_EXCL makes creation itself the atomic mutual exclusion.
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd >= 0) {
+    const char* data = image.data();
+    size_t left = image.size();
+    while (left > 0) {
+      const ssize_t wrote = ::write(fd, data, left);
+      if (wrote <= 0) {
+        const IoStatus status = IoStatus::FromErrno("write", path);
+        ::close(fd);
+        std::remove(path.c_str());
+        return status;
+      }
+      data += wrote;
+      left -= static_cast<size_t>(wrote);
+    }
+    ::close(fd);
+    *out = lease;
+    return IoStatus::Ok();
+  }
+  if (errno != EEXIST) {
+    return IoStatus::FromErrno("open", path);
+  }
+
+  Lease held;
+  if (ReadLeaseFile(path, &held).ok()) {
+    if (held.owner == owner) {
+      // Re-entrant acquire by the same worker launch: refresh and carry on.
+      if (IoStatus status = WriteFileAtomic(path, image); !status.ok()) {
+        return status;
+      }
+      *out = lease;
+      return IoStatus::Ok();
+    }
+    const bool stale =
+        held.heartbeat_ms <= now_ms && now_ms - held.heartbeat_ms >= ttl_ms;
+    if (!stale) {
+      return IoStatus::Transient("lease " + path + " held by " + held.owner +
+                                 " (heartbeat " +
+                                 std::to_string(held.heartbeat_ms) + ")");
+    }
+  }
+  // Stale — or unreadable, i.e. a torn O_EXCL write from an acquirer that
+  // crashed mid-claim and can never renew it. Steal with an atomic replace:
+  // racing stealers resolve by last-rename-wins, and the loser notices at
+  // its next RenewLease owner check.
+  if (IoStatus status = WriteFileAtomic(path, image); !status.ok()) {
+    return status;
+  }
+  *out = lease;
+  return IoStatus::Ok();
+}
+
+IoStatus RenewLease(const std::string& path, const std::string& owner,
+                    uint64_t now_ms) {
+  Lease held;
+  if (IoStatus status = ReadLeaseFile(path, &held); !status.ok()) {
+    return IoStatus::Transient("lease " + path + " lost: " + status.message());
+  }
+  if (held.owner != owner) {
+    return IoStatus::Transient("lease " + path + " lost to " + held.owner);
+  }
+  held.heartbeat_ms = now_ms;
+  return WriteFileAtomic(path, FormatLease(held));
+}
+
+IoStatus ReleaseLease(const std::string& path, const std::string& owner) {
+  Lease held;
+  if (!ReadLeaseFile(path, &held).ok() || held.owner != owner) {
+    return IoStatus::Ok();  // gone, torn, or stolen: the new owner's problem
+  }
+  std::remove(path.c_str());
+  return IoStatus::Ok();
+}
+
+}  // namespace rc4b::orchestrate

@@ -1,0 +1,73 @@
+// Shard lease files: mutual exclusion with failure detection for campaign
+// workers. A worker acquires `<shard>.grid.lease` before running the shard
+// and renews the heartbeat timestamp at every checkpoint; a lease whose
+// heartbeat is older than the TTL marks a stalled or dead worker, and the
+// shard becomes stealable.
+//
+// The protocol is crash-safe, not race-free: a stale lease is stolen with an
+// atomic whole-file replace, so if two stealers race, the last rename wins
+// and the loser discovers it at its next RenewLease (owner mismatch ->
+// transient "lease lost", worker exits retryable). At most one worker keeps
+// renewing; the other's work is discarded by its own exit, never merged.
+// See docs/orchestrate.md for the full safety argument.
+//
+// Format (text, one token per field, parsed strictly — fuzzed by
+// tests/fuzz/fuzz_lease.cc):
+//
+//   rc4b-lease 1
+//   owner 12345.a2
+//   acquired_ms 1700000000000
+//   heartbeat_ms 1700000012000
+//   attempt 2
+#ifndef SRC_ORCHESTRATE_LEASE_H_
+#define SRC_ORCHESTRATE_LEASE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/io.h"
+
+namespace rc4b::orchestrate {
+
+struct Lease {
+  std::string owner;          // "<pid>.a<attempt>" — unique per worker launch
+  uint64_t acquired_ms = 0;   // when this owner took the lease
+  uint64_t heartbeat_ms = 0;  // last renewal; staleness is measured from here
+  uint32_t attempt = 0;       // campaign attempt number, for post-mortems
+};
+
+// `<shard path>.lease`, next to the shard's output grid.
+std::string LeasePath(const std::string& shard_path);
+
+// Canonical serialization; ParseLease(FormatLease(x)) reproduces x.
+std::string FormatLease(const Lease& lease);
+
+// Strict parse: exact header, all four fields once, no trailing garbage.
+// `context` names the source in diagnostics.
+IoStatus ParseLease(std::string_view text, const std::string& context, Lease* out);
+
+// Reads and parses `path`. Missing file is a transient error (the lease may
+// simply not exist yet); a corrupt file is a data error.
+IoStatus ReadLeaseFile(const std::string& path, Lease* out);
+
+// Takes the lease for `owner`: creates it exclusively if absent, re-enters
+// it if already owned by `owner`, steals it if the current heartbeat is
+// older than `ttl_ms`. A live foreign lease is a transient failure (caller
+// backs off and retries). On success *out is the written lease.
+IoStatus AcquireLease(const std::string& path, const std::string& owner,
+                      uint64_t now_ms, uint64_t ttl_ms, uint32_t attempt, Lease* out);
+
+// Advances the heartbeat. Fails transient ("lease lost") if the file is
+// gone, unreadable, or owned by someone else — the caller must stop working
+// on the shard; a stealer owns it now.
+IoStatus RenewLease(const std::string& path, const std::string& owner,
+                    uint64_t now_ms);
+
+// Removes the lease if still owned by `owner`; a lease lost in the meantime
+// is left alone (its new owner is responsible for it).
+IoStatus ReleaseLease(const std::string& path, const std::string& owner);
+
+}  // namespace rc4b::orchestrate
+
+#endif  // SRC_ORCHESTRATE_LEASE_H_

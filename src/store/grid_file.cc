@@ -264,8 +264,10 @@ IoStatus CheckSameDataset(const GridMeta& want, const GridMeta& got,
   return IoStatus::Ok();
 }
 
-IoStatus WriteGridFile(const std::string& path, const GridMeta& meta,
-                       std::span<const uint64_t> cells) {
+namespace {
+
+IoStatus WriteGridFileImpl(const std::string& path, const GridMeta& meta,
+                           std::span<const uint64_t> cells, bool durable) {
   if (IoStatus status = ValidateMeta(meta, path); !status.ok()) {
     return status;
   }
@@ -292,7 +294,19 @@ IoStatus WriteGridFile(const std::string& path, const GridMeta& meta,
       cells_offset - kHeaderBytes - meta_section.size(), 0);
   writer.WriteBytes(padding);
   writer.WriteU64s(cells);
-  return writer.Commit();
+  return durable ? writer.CommitDurable() : writer.Commit();
+}
+
+}  // namespace
+
+IoStatus WriteGridFile(const std::string& path, const GridMeta& meta,
+                       std::span<const uint64_t> cells) {
+  return WriteGridFileImpl(path, meta, cells, /*durable=*/false);
+}
+
+IoStatus WriteGridFileDurable(const std::string& path, const GridMeta& meta,
+                              std::span<const uint64_t> cells) {
+  return WriteGridFileImpl(path, meta, cells, /*durable=*/true);
 }
 
 IoStatus ReadGridFile(const std::string& path, StoredGrid* out) {

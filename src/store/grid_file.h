@@ -98,6 +98,13 @@ struct StoredGrid {
 IoStatus WriteGridFile(const std::string& path, const GridMeta& meta,
                        std::span<const uint64_t> cells);
 
+// WriteGridFile with crash durability (fsync file before the rename, fsync
+// the parent directory after it). Checkpoints and final shard grids use
+// this: a host crash right after the call must never resurrect the previous
+// file, or a resumed worker would trust progress the disk no longer holds.
+IoStatus WriteGridFileDurable(const std::string& path, const GridMeta& meta,
+                              std::span<const uint64_t> cells);
+
 // Reads and fully validates (magic, version, structure, both CRCs) `path`.
 IoStatus ReadGridFile(const std::string& path, StoredGrid* out);
 

@@ -72,6 +72,34 @@ Manifest PlanShards(const GridMeta& grid, uint32_t shard_count,
   return manifest;
 }
 
+IoStatus ExtendManifestPlan(Manifest* manifest, uint64_t new_key_end,
+                            uint32_t added_shards, const std::string& prefix) {
+  const uint64_t old_end = manifest->grid.key_end;
+  if (new_key_end <= old_end) {
+    return IoStatus::Fail("extend: new key_end " + std::to_string(new_key_end) +
+                          " does not grow the range (current end " +
+                          std::to_string(old_end) + ")");
+  }
+  if (added_shards == 0) {
+    return IoStatus::Fail("extend: added_shards must be at least 1");
+  }
+  const uint64_t keys = new_key_end - old_end;
+  const uint64_t count = std::min<uint64_t>(added_shards, keys);
+  const uint64_t next_index = manifest->shards.size();
+  uint64_t begin = old_end;
+  for (uint64_t s = 0; s < count; ++s) {
+    const uint64_t size = keys / count + (s < keys % count ? 1 : 0);
+    ShardEntry entry;
+    entry.key_begin = begin;
+    entry.key_end = begin + size;
+    entry.path = prefix + "-shard" + std::to_string(next_index + s) + ".grid";
+    begin = entry.key_end;
+    manifest->shards.push_back(std::move(entry));
+  }
+  manifest->grid.key_end = new_key_end;
+  return IoStatus::Ok();
+}
+
 IoStatus ValidateManifest(const Manifest& manifest, const std::string& context) {
   if (IoStatus status = ValidateMeta(manifest.grid, context); !status.ok()) {
     return status;

@@ -52,6 +52,17 @@ struct Manifest {
 Manifest PlanShards(const GridMeta& grid, uint32_t shard_count,
                     const std::string& prefix);
 
+// Grows `manifest` to cover [grid.key_begin, new_key_end): appends
+// `added_shards` near-equal shards over the new tail [old key_end,
+// new_key_end), numbered after the existing ones with paths
+// "<prefix>-shard<i>.grid". Existing shard entries are untouched, so their
+// finished grid files — and a previous merge ending at the old key_end —
+// stay valid; an incrementally grown campaign only runs and merges the new
+// shards (see MergeShardGridsEx base in merge.h). Fails if new_key_end does
+// not extend the current range or added_shards is 0.
+IoStatus ExtendManifestPlan(Manifest* manifest, uint64_t new_key_end,
+                            uint32_t added_shards, const std::string& prefix);
+
 // Validates shard coverage: shards must tile [grid.key_begin, grid.key_end)
 // exactly — sorted, no gaps, no overlaps, none empty.
 IoStatus ValidateManifest(const Manifest& manifest, const std::string& context);

@@ -4,38 +4,106 @@ namespace rc4b::store {
 
 IoStatus MergeShardGrids(const Manifest& manifest,
                          const std::string& manifest_path, StoredGrid* out) {
+  return MergeShardGridsEx(manifest, manifest_path, MergeOptions{}, out, nullptr);
+}
+
+IoStatus MergeShardGridsEx(const Manifest& manifest,
+                           const std::string& manifest_path,
+                           const MergeOptions& options, StoredGrid* out,
+                           MergeOutcome* outcome) {
   if (IoStatus status = ValidateManifest(manifest, manifest_path);
       !status.ok()) {
     return status;
   }
+  uint64_t base_end = manifest.grid.key_begin;  // nothing covered yet
+  if (options.base != nullptr) {
+    const StoredGrid& base = *options.base;
+    if (IoStatus status =
+            CheckSameDataset(manifest.grid, base.meta, "incremental base");
+        !status.ok()) {
+      return status;
+    }
+    if (base.meta.key_begin != manifest.grid.key_begin) {
+      return IoStatus::Fail("incremental base starts at key " +
+                            std::to_string(base.meta.key_begin) +
+                            ", manifest at " +
+                            std::to_string(manifest.grid.key_begin));
+    }
+    if (base.meta.key_end > manifest.grid.key_end) {
+      return IoStatus::Fail("incremental base ends at key " +
+                            std::to_string(base.meta.key_end) +
+                            ", beyond the manifest's " +
+                            std::to_string(manifest.grid.key_end));
+    }
+    base_end = base.meta.key_end;
+  }
+
+  MergeOutcome local;
+  MergeOutcome& result = outcome != nullptr ? *outcome : local;
+  result = MergeOutcome{};
+
   out->meta = manifest.grid;
   out->meta.samples = 0;
   out->cells.assign(manifest.grid.cell_count(), 0);
   bool first = true;
   uint64_t unanimous_interleave = 0;
-  for (const ShardEntry& shard : manifest.shards) {
+  if (options.base != nullptr) {
+    const StoredGrid& base = *options.base;
+    if (base.cells.size() != out->cells.size()) {
+      return IoStatus::Fail("incremental base has " +
+                            std::to_string(base.cells.size()) + " cells, grid " +
+                            std::to_string(out->cells.size()));
+    }
+    for (size_t i = 0; i < base.cells.size(); ++i) {
+      out->cells[i] = base.cells[i];
+    }
+    out->meta.samples = base.meta.samples;
+    unanimous_interleave = base.meta.interleave;
+    first = false;
+  }
+  for (uint32_t index = 0; index < manifest.shards.size(); ++index) {
+    const ShardEntry& shard = manifest.shards[index];
+    if (shard.key_end <= base_end) {
+      result.skipped.push_back(index);  // covered by the base grid
+      continue;
+    }
+    if (shard.key_begin < base_end) {
+      return IoStatus::Fail(
+          "incremental base ends at key " + std::to_string(base_end) +
+          " inside shard " + shard.path + " [" +
+          std::to_string(shard.key_begin) + ", " +
+          std::to_string(shard.key_end) +
+          ") — the base must end on a shard boundary");
+    }
     const std::string path = ResolveManifestPath(manifest_path, shard.path);
     GridFileView view;
-    if (IoStatus status = view.Open(path); !status.ok()) {
-      return status;
+    IoStatus status = view.Open(path);
+    if (status.ok()) {
+      const GridMeta& got = view.meta();
+      status = CheckSameDataset(manifest.grid, got, path);
+      if (status.ok() &&
+          (got.key_begin != shard.key_begin || got.key_end != shard.key_end)) {
+        status = IoStatus::Fail(
+            path + ": covers keys [" + std::to_string(got.key_begin) + ", " +
+            std::to_string(got.key_end) + ") but the manifest assigns [" +
+            std::to_string(shard.key_begin) + ", " +
+            std::to_string(shard.key_end) + ")");
+      }
+    }
+    if (!status.ok()) {
+      if (!options.allow_missing) {
+        return status;
+      }
+      result.missing.push_back({index, path, status.message()});
+      continue;
     }
     const GridMeta& got = view.meta();
-    if (IoStatus status = CheckSameDataset(manifest.grid, got, path);
-        !status.ok()) {
-      return status;
-    }
-    if (got.key_begin != shard.key_begin || got.key_end != shard.key_end) {
-      return IoStatus::Fail(
-          path + ": covers keys [" + std::to_string(got.key_begin) + ", " +
-          std::to_string(got.key_end) + ") but the manifest assigns [" +
-          std::to_string(shard.key_begin) + ", " +
-          std::to_string(shard.key_end) + ")");
-    }
     const auto cells = view.cells();
     for (size_t i = 0; i < cells.size(); ++i) {
       out->cells[i] += cells[i];
     }
     out->meta.samples += got.samples;
+    result.merged.push_back(index);
     if (first) {
       unanimous_interleave = got.interleave;
       first = false;

@@ -12,6 +12,7 @@
 #define SRC_STORE_MERGE_H_
 
 #include <string>
+#include <vector>
 
 #include "src/store/grid_file.h"
 #include "src/store/manifest.h"
@@ -24,6 +25,40 @@ namespace rc4b::store {
 // width when unanimous, 0 otherwise.
 IoStatus MergeShardGrids(const Manifest& manifest,
                          const std::string& manifest_path, StoredGrid* out);
+
+struct MergeOptions {
+  // Incremental re-merge: a previously merged grid over a prefix of the
+  // manifest's key range. Its cells are the starting sum and every shard it
+  // already covers is skipped — so after ExtendManifestPlan grows a
+  // campaign, only the new shards' files need to exist (or be regenerated).
+  // The base must match the dataset, start at the manifest's key_begin, and
+  // end exactly on a shard boundary.
+  const StoredGrid* base = nullptr;
+  // Degraded (partial) merge: a shard whose file is missing or fails
+  // validation is recorded in MergeOutcome::missing instead of failing the
+  // merge. The output meta still declares the full key range but `samples`
+  // honestly counts only what was merged — callers must surface the outcome
+  // loudly (the campaign tool writes a quarantine report and exits nonzero).
+  bool allow_missing = false;
+};
+
+struct MergeOutcome {
+  struct MissingShard {
+    uint32_t index = 0;
+    std::string path;
+    std::string error;
+  };
+  std::vector<uint32_t> merged;   // shard indices summed into the output
+  std::vector<uint32_t> skipped;  // already covered by MergeOptions::base
+  std::vector<MissingShard> missing;  // only with allow_missing
+};
+
+// MergeShardGrids with incremental-base and partial-merge handling;
+// `outcome` may be null.
+IoStatus MergeShardGridsEx(const Manifest& manifest,
+                           const std::string& manifest_path,
+                           const MergeOptions& options, StoredGrid* out,
+                           MergeOutcome* outcome);
 
 // Same-dataset + same-range + identical samples and cells (merge and
 // kill/resume round-trip checks; the informational interleave width is

@@ -6,6 +6,7 @@
 #include <sys/stat.h>
 
 #include "src/biases/dataset.h"
+#include "src/common/fault_injector.h"
 #include "src/rc4/rc4_multi.h"
 
 namespace rc4b::store {
@@ -178,9 +179,15 @@ IoStatus RunShard(const Manifest& manifest, const std::string& manifest_path,
     }
     GridMeta ckpt_meta = partial.meta;
     ckpt_meta.key_end = progress;
-    if (IoStatus status = WriteGridFile(ckpt_path, ckpt_meta, partial.cells);
+    if (IoStatus status = WriteGridFileDurable(ckpt_path, ckpt_meta, partial.cells);
         !status.ok()) {
       return status;
+    }
+    FaultInjector::Instance().OnCheckpointCommitted();
+    if (options.on_checkpoint) {
+      if (IoStatus status = options.on_checkpoint(*result); !status.ok()) {
+        return status;
+      }
     }
     if (options.stop_after_keys != 0 &&
         result->keys_done >= options.stop_after_keys) {
@@ -189,7 +196,8 @@ IoStatus RunShard(const Manifest& manifest, const std::string& manifest_path,
   }
 
   partial.meta.key_end = shard.key_end;
-  if (IoStatus status = WriteGridFile(final_path, partial.meta, partial.cells);
+  if (IoStatus status =
+          WriteGridFileDurable(final_path, partial.meta, partial.cells);
       !status.ok()) {
     return status;
   }

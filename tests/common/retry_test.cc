@@ -1,0 +1,97 @@
+// RetryPolicy backoff and the exit-code contract (docs/orchestrate.md): the
+// campaign scheduler replays identically from the same seed, and every tool
+// classifies failures the same way.
+#include "src/common/retry.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rc4b {
+namespace {
+
+TEST(RetryPolicyTest, DelayIsDeterministicForTheSameInputs) {
+  const RetryPolicy policy;
+  for (uint32_t attempt = 1; attempt <= 6; ++attempt) {
+    EXPECT_EQ(policy.DelayMs(attempt, 3), policy.DelayMs(attempt, 3));
+  }
+}
+
+TEST(RetryPolicyTest, DelayGrowsExponentiallyUntilTheCap) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 100;
+  policy.max_delay_ms = 5000;
+  for (uint32_t attempt = 1; attempt <= 10; ++attempt) {
+    const uint64_t exponential = std::min<uint64_t>(
+        policy.max_delay_ms, uint64_t{100} << (attempt - 1));
+    const uint64_t delay = policy.DelayMs(attempt, 7);
+    // Jitter adds at most half the exponential component, capped overall.
+    EXPECT_GE(delay, exponential);
+    EXPECT_LE(delay, policy.max_delay_ms);
+    EXPECT_LE(delay, exponential + exponential / 2);
+  }
+}
+
+TEST(RetryPolicyTest, LateAttemptsSaturateAtTheCapWithoutOverflow) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 100;
+  policy.max_delay_ms = 5000;
+  // Shifts far past 64 bits must clamp, not wrap around to tiny delays.
+  for (const uint32_t attempt : {40u, 63u, 64u, 100u, 1000000u}) {
+    EXPECT_EQ(policy.DelayMs(attempt, 0), policy.max_delay_ms);
+  }
+}
+
+TEST(RetryPolicyTest, ZeroBaseMeansNoBackoff) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 0;
+  for (uint32_t attempt = 1; attempt <= 8; ++attempt) {
+    EXPECT_EQ(policy.DelayMs(attempt, 5), 0u);
+  }
+}
+
+TEST(RetryPolicyTest, DifferentSaltsSpreadTheirRetries) {
+  // The jitter exists to keep shards from thundering in lockstep: across
+  // many salts the same attempt number must not produce one single delay.
+  const RetryPolicy policy;
+  std::set<uint64_t> delays;
+  for (uint64_t salt = 0; salt < 32; ++salt) {
+    delays.insert(policy.DelayMs(3, salt));
+  }
+  EXPECT_GT(delays.size(), 8u);
+  for (const uint64_t delay : delays) {
+    EXPECT_GE(delay, 400u);  // the exponential floor for attempt 3
+    EXPECT_LE(delay, 600u);  // plus at most half again
+  }
+}
+
+TEST(RetryPolicyTest, DifferentSeedsGiveDifferentJitterStreams) {
+  RetryPolicy a;
+  RetryPolicy b;
+  b.jitter_seed = a.jitter_seed + 1;
+  std::vector<uint64_t> delays_a;
+  std::vector<uint64_t> delays_b;
+  for (uint64_t salt = 0; salt < 16; ++salt) {
+    delays_a.push_back(a.DelayMs(2, salt));
+    delays_b.push_back(b.DelayMs(2, salt));
+  }
+  EXPECT_NE(delays_a, delays_b);
+}
+
+TEST(ExitCodeTest, StatusClassesMapOntoTheContract) {
+  EXPECT_EQ(ExitCodeForStatus(IoStatus::Ok()), kExitOk);
+  EXPECT_EQ(ExitCodeForStatus(IoStatus::Transient("disk on fire")),
+            kExitRetryable);
+  EXPECT_EQ(ExitCodeForStatus(IoStatus::Fail("bad checksum")), kExitFatal);
+}
+
+TEST(ExitCodeTest, ErrnoFailuresAreRetryable) {
+  // FromErrno covers the "environment said no" class — exactly the failures
+  // a retry on a healthy host can fix.
+  EXPECT_EQ(ExitCodeForStatus(IoStatus::FromErrno("open", "x")), kExitRetryable);
+}
+
+}  // namespace
+}  // namespace rc4b

@@ -1,0 +1,34 @@
+// Fuzz target: the lease-file parser (src/orchestrate/lease.cc). A lease
+// file is the mutual-exclusion token of the campaign: a stealer decides
+// ownership from whatever bytes a possibly-crashed writer left behind, so
+// arbitrary input must produce a clean parse error or a lease whose
+// canonical re-serialization round-trips exactly — never a half-parsed
+// lease that grants ownership.
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#include "src/orchestrate/lease.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  rc4b::orchestrate::Lease lease;
+  if (!rc4b::orchestrate::ParseLease(text, "fuzz", &lease).ok()) {
+    return 0;
+  }
+  // Whatever parses must survive the canonical round trip unchanged: the
+  // renew/steal path rewrites leases via FormatLease, and a lossy round
+  // trip would corrupt ownership on the first heartbeat.
+  rc4b::orchestrate::Lease again;
+  if (!rc4b::orchestrate::ParseLease(rc4b::orchestrate::FormatLease(lease),
+                                     "fuzz-roundtrip", &again)
+           .ok()) {
+    std::abort();  // parser accepted a lease its own serialization rejects
+  }
+  if (again.owner != lease.owner || again.acquired_ms != lease.acquired_ms ||
+      again.heartbeat_ms != lease.heartbeat_ms ||
+      again.attempt != lease.attempt) {
+    std::abort();  // round trip changed the lease
+  }
+  return 0;
+}

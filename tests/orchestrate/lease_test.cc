@@ -1,0 +1,163 @@
+// Lease protocol contract (docs/orchestrate.md): exclusive acquisition,
+// heartbeat renewal, stale-steal, and the strict parser that keeps a torn or
+// scribbled lease from ever granting ownership.
+#include "src/orchestrate/lease.h"
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace rc4b::orchestrate {
+namespace {
+
+// Fresh per invocation: lease tests assert on file absence, so leftovers
+// from a previous run must not leak in.
+std::string FreshDir(const char* name) {
+  const std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  std::filesystem::remove_all(dir);
+  MakeDirs(dir);
+  return dir;
+}
+
+TEST(LeaseTest, FormatParseRoundTrip) {
+  Lease lease;
+  lease.owner = "12345.a2";
+  lease.acquired_ms = 1700000000000;
+  lease.heartbeat_ms = 1700000012000;
+  lease.attempt = 2;
+
+  Lease parsed;
+  ASSERT_TRUE(ParseLease(FormatLease(lease), "round-trip", &parsed).ok());
+  EXPECT_EQ(parsed.owner, lease.owner);
+  EXPECT_EQ(parsed.acquired_ms, lease.acquired_ms);
+  EXPECT_EQ(parsed.heartbeat_ms, lease.heartbeat_ms);
+  EXPECT_EQ(parsed.attempt, lease.attempt);
+}
+
+TEST(LeaseTest, ParserRejectsTornAndScribbledInput) {
+  Lease good;
+  good.owner = "1.a1";
+  const std::string text = FormatLease(good);
+  Lease out;
+  // Every truncation of a valid lease must fail: a torn write (crashed
+  // renewer on a non-atomic filesystem) can never look owned.
+  for (size_t len = 0; len < text.size(); ++len) {
+    EXPECT_FALSE(ParseLease(text.substr(0, len), "torn", &out).ok()) << len;
+  }
+  EXPECT_FALSE(ParseLease(text + "trailing", "extra", &out).ok());
+  EXPECT_FALSE(ParseLease("rc4b-lease 2\n", "version", &out).ok());
+  EXPECT_FALSE(ParseLease("not a lease at all", "garbage", &out).ok());
+  // Whitespace in the owner token would corrupt the line structure on the
+  // next rewrite, so it is rejected on the way in.
+  EXPECT_FALSE(
+      ParseLease("rc4b-lease 1\nowner a b\nacquired_ms 0\nheartbeat_ms 0\n"
+                 "attempt 0\n",
+                 "owner-space", &out)
+          .ok());
+}
+
+TEST(LeaseTest, AcquireCreatesAndReEnters) {
+  const std::string path = FreshDir("lease-acquire") + "/s.grid.lease";
+  Lease lease;
+  ASSERT_TRUE(AcquireLease(path, "100.a1", 1000, 5000, 1, &lease).ok());
+  EXPECT_EQ(lease.owner, "100.a1");
+  EXPECT_EQ(lease.acquired_ms, 1000u);
+
+  // The same owner re-enters its own lease (a worker retrying its open).
+  ASSERT_TRUE(AcquireLease(path, "100.a1", 1200, 5000, 1, &lease).ok());
+  EXPECT_EQ(lease.heartbeat_ms, 1200u);
+}
+
+TEST(LeaseTest, FreshForeignLeaseIsTransientlyBusy) {
+  const std::string path = FreshDir("lease-busy") + "/s.grid.lease";
+  Lease lease;
+  ASSERT_TRUE(AcquireLease(path, "100.a1", 1000, 5000, 1, &lease).ok());
+
+  // Heartbeat age 3000 < TTL 5000: the holder is presumed alive.
+  const IoStatus status = AcquireLease(path, "200.a1", 4000, 5000, 1, &lease);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.transient());
+
+  // The incumbent is unaffected.
+  Lease held;
+  ASSERT_TRUE(ReadLeaseFile(path, &held).ok());
+  EXPECT_EQ(held.owner, "100.a1");
+}
+
+TEST(LeaseTest, StaleLeaseIsStolen) {
+  const std::string path = FreshDir("lease-steal") + "/s.grid.lease";
+  Lease lease;
+  ASSERT_TRUE(AcquireLease(path, "100.a1", 1000, 5000, 1, &lease).ok());
+
+  // Heartbeat age 6000 >= TTL 5000: the holder is presumed dead.
+  ASSERT_TRUE(AcquireLease(path, "200.a2", 7000, 5000, 2, &lease).ok());
+  EXPECT_EQ(lease.owner, "200.a2");
+  EXPECT_EQ(lease.attempt, 2u);
+
+  Lease held;
+  ASSERT_TRUE(ReadLeaseFile(path, &held).ok());
+  EXPECT_EQ(held.owner, "200.a2");
+}
+
+TEST(LeaseTest, CorruptLeaseIsStolenNotTrusted) {
+  const std::string path = FreshDir("lease-corrupt") + "/s.grid.lease";
+  ASSERT_TRUE(WriteFileAtomic(path, "rc4b-lease 1\nowner tru").ok());
+
+  // A torn lease proves a crashed writer; it grants nobody ownership and is
+  // replaced immediately, without waiting out any TTL.
+  Lease lease;
+  ASSERT_TRUE(AcquireLease(path, "300.a1", 100, 999999, 1, &lease).ok());
+  EXPECT_EQ(lease.owner, "300.a1");
+}
+
+TEST(LeaseTest, RenewAdvancesHeartbeatForTheOwnerOnly) {
+  const std::string path = FreshDir("lease-renew") + "/s.grid.lease";
+  Lease lease;
+  ASSERT_TRUE(AcquireLease(path, "100.a1", 1000, 5000, 1, &lease).ok());
+  ASSERT_TRUE(RenewLease(path, "100.a1", 2000).ok());
+
+  Lease held;
+  ASSERT_TRUE(ReadLeaseFile(path, &held).ok());
+  EXPECT_EQ(held.heartbeat_ms, 2000u);
+  EXPECT_EQ(held.acquired_ms, 1000u);
+
+  // A stealer replaced the lease: the old owner's renew reports the loss as
+  // transient — it must stop touching the shard, and a rerun may succeed.
+  ASSERT_TRUE(AcquireLease(path, "200.a2", 999000, 5000, 2, &held).ok());
+  const IoStatus lost = RenewLease(path, "100.a1", 999100);
+  EXPECT_FALSE(lost.ok());
+  EXPECT_TRUE(lost.transient());
+  ASSERT_TRUE(ReadLeaseFile(path, &held).ok());
+  EXPECT_EQ(held.owner, "200.a2");
+}
+
+TEST(LeaseTest, RenewOnAMissingLeaseIsALostLease) {
+  const std::string path = FreshDir("lease-gone") + "/s.grid.lease";
+  const IoStatus status = RenewLease(path, "100.a1", 1000);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.transient());
+}
+
+TEST(LeaseTest, ReleaseRemovesOwnLeaseAndSparesAStolenOne) {
+  const std::string dir = FreshDir("lease-release");
+  const std::string path = dir + "/s.grid.lease";
+  Lease lease;
+  ASSERT_TRUE(AcquireLease(path, "100.a1", 1000, 5000, 1, &lease).ok());
+  ASSERT_TRUE(ReleaseLease(path, "100.a1").ok());
+  EXPECT_FALSE(ReadLeaseFile(path, &lease).ok());
+
+  // Releasing a lease someone else now holds leaves it in place.
+  ASSERT_TRUE(AcquireLease(path, "200.a2", 2000, 5000, 2, &lease).ok());
+  ASSERT_TRUE(ReleaseLease(path, "100.a1").ok());
+  Lease held;
+  ASSERT_TRUE(ReadLeaseFile(path, &held).ok());
+  EXPECT_EQ(held.owner, "200.a2");
+}
+
+TEST(LeaseTest, LeasePathSitsNextToTheShard) {
+  EXPECT_EQ(LeasePath("/data/c-shard0.grid"), "/data/c-shard0.grid.lease");
+}
+
+}  // namespace
+}  // namespace rc4b::orchestrate

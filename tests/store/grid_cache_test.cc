@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "src/recovery/scenario.h"
+#include "src/store/shard_runner.h"
 
 namespace rc4b::store {
 namespace {
@@ -118,6 +119,65 @@ TEST(GridCacheTest, CorruptCacheFileIsRegeneratedCorrectly) {
   ExpectSameGrid(GenerateSingleByteDataset(6, cached),
                  GenerateSingleByteDataset(6, fresh));
   EXPECT_TRUE(GridCache(dir).TryLoad(MetaForSingleByte(6, cached), &probe).ok());
+}
+
+TEST(GridCacheTest, TruncatedCacheFileIsRegeneratedCorrectly) {
+  const std::string dir = FreshDir("cache-truncated");
+  const DatasetOptions cached = SmallOptions(dir);
+  DatasetOptions fresh = cached;
+  fresh.cache_dir.clear();
+
+  GenerateSingleByteDataset(6, cached);  // populate
+  const std::string path = GridCache(dir).PathFor(MetaForSingleByte(6, cached));
+  // Cut the file mid-payload: a torn copy or a disk that filled up. The
+  // header still parses, so only the length/checksum validation catches it.
+  StoredGrid stored;
+  ASSERT_TRUE(ReadGridFile(path, &stored).ok());
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  StoredGrid probe;
+  EXPECT_FALSE(GridCache(dir).TryLoad(MetaForSingleByte(6, cached), &probe).ok());
+
+  ExpectSameGrid(GenerateSingleByteDataset(6, cached),
+                 GenerateSingleByteDataset(6, fresh));
+  EXPECT_TRUE(GridCache(dir).TryLoad(MetaForSingleByte(6, cached), &probe).ok());
+}
+
+TEST(GridCacheTest, ForeignProvenanceEntryIsRejectedAndReplaced) {
+  const std::string dir = FreshDir("cache-foreign");
+  const DatasetOptions cached = SmallOptions(dir);
+  DatasetOptions fresh = cached;
+  fresh.cache_dir.clear();
+
+  GenerateSingleByteDataset(6, cached);  // populate
+  const std::string path = GridCache(dir).PathFor(MetaForSingleByte(6, cached));
+
+  // Overwrite the entry with a structurally valid grid file generated under
+  // a different seed — checksums pass, provenance must not.
+  DatasetOptions other = cached;
+  other.seed = cached.seed + 1;
+  other.cache_dir.clear();
+  GridMeta foreign_meta = MetaForSingleByte(6, other);
+  const StoredGrid foreign = GenerateStoredGrid(foreign_meta, 1, 0);
+  ASSERT_TRUE(WriteGridFile(path, foreign.meta, foreign.cells).ok());
+
+  StoredGrid probe;
+  const IoStatus status =
+      GridCache(dir).TryLoad(MetaForSingleByte(6, cached), &probe);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("seed"), std::string::npos);
+
+  // The poisoned entry is never used: the next request regenerates the true
+  // grid and stores it back over the impostor.
+  ExpectSameGrid(GenerateSingleByteDataset(6, cached),
+                 GenerateSingleByteDataset(6, fresh));
+  EXPECT_TRUE(GridCache(dir).TryLoad(MetaForSingleByte(6, cached), &probe).ok());
+  EXPECT_EQ(probe.meta.seed, cached.seed);
 }
 
 TEST(GridCacheTest, MissingFileReportsPath) {

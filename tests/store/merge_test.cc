@@ -139,6 +139,92 @@ TEST(MergeTest, RejectsCorruptShard) {
   EXPECT_NE(status.message().find("checksum"), std::string::npos);
 }
 
+TEST(MergeTest, IncrementalMergeFromBaseMatchesFullMerge) {
+  const std::string dir = TempDir("merge-incremental");
+  const GridMeta grid = SmallMeta(GridKind::kConsecutive);
+  const Manifest manifest = WriteShards(grid, 4, dir);
+
+  // The base is a previous merge covering the first two shards. Once it
+  // exists their files can be deleted — the incremental merge must not
+  // touch them.
+  GridMeta prefix = grid;
+  prefix.key_end = manifest.shards[1].key_end;
+  StoredGrid base = GenerateStoredGrid(prefix, 2, 0);
+  std::remove(manifest.shards[0].path.c_str());
+  std::remove(manifest.shards[1].path.c_str());
+
+  MergeOptions options;
+  options.base = &base;
+  StoredGrid merged;
+  MergeOutcome outcome;
+  ASSERT_TRUE(
+      MergeShardGridsEx(manifest, dir + "/x.manifest", options, &merged, &outcome)
+          .ok());
+  EXPECT_EQ(outcome.skipped.size(), 2u);
+  EXPECT_EQ(outcome.merged.size(), 2u);
+  const StoredGrid reference = GenerateStoredGrid(grid, 2, 0);
+  EXPECT_TRUE(CheckGridsEqual(reference, merged, "reference", "merged").ok());
+}
+
+TEST(MergeTest, RejectsBaseEndingOffAShardBoundary) {
+  const std::string dir = TempDir("merge-base-boundary");
+  const GridMeta grid = SmallMeta(GridKind::kConsecutive);
+  const Manifest manifest = WriteShards(grid, 2, dir);
+
+  GridMeta prefix = grid;
+  prefix.key_end = manifest.shards[0].key_end - 1;  // straddles shard 1
+  StoredGrid base = GenerateStoredGrid(prefix, 1, 0);
+  MergeOptions options;
+  options.base = &base;
+  StoredGrid merged;
+  const IoStatus status =
+      MergeShardGridsEx(manifest, dir + "/x.manifest", options, &merged, nullptr);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("boundary"), std::string::npos);
+}
+
+TEST(MergeTest, RejectsBaseFromADifferentDataset) {
+  const std::string dir = TempDir("merge-base-foreign");
+  const GridMeta grid = SmallMeta(GridKind::kConsecutive);
+  const Manifest manifest = WriteShards(grid, 2, dir);
+
+  GridMeta foreign = grid;
+  foreign.seed = 999;
+  foreign.key_end = manifest.shards[0].key_end;
+  StoredGrid base = GenerateStoredGrid(foreign, 1, 0);
+  MergeOptions options;
+  options.base = &base;
+  StoredGrid merged;
+  const IoStatus status =
+      MergeShardGridsEx(manifest, dir + "/x.manifest", options, &merged, nullptr);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("seed"), std::string::npos);
+}
+
+TEST(MergeTest, AllowMissingRecordsTheGapInsteadOfFailing) {
+  const std::string dir = TempDir("merge-allow-missing");
+  const GridMeta grid = SmallMeta(GridKind::kConsecutive);
+  const Manifest manifest = WriteShards(grid, 3, dir);
+  std::remove(manifest.shards[1].path.c_str());
+
+  MergeOptions options;
+  options.allow_missing = true;
+  StoredGrid merged;
+  MergeOutcome outcome;
+  ASSERT_TRUE(
+      MergeShardGridsEx(manifest, dir + "/x.manifest", options, &merged, &outcome)
+          .ok());
+  ASSERT_EQ(outcome.missing.size(), 1u);
+  EXPECT_EQ(outcome.missing[0].index, 1u);
+  EXPECT_EQ(outcome.missing[0].path, manifest.shards[1].path);
+  EXPECT_FALSE(outcome.missing[0].error.empty());
+  EXPECT_EQ(outcome.merged.size(), 2u);
+  // `samples` honestly reports the merged subset, not the declared range.
+  EXPECT_EQ(merged.meta.samples,
+            grid.keys() - (manifest.shards[1].key_end -
+                           manifest.shards[1].key_begin));
+}
+
 TEST(MergeTest, MergedSamplesAreTheShardSum) {
   const std::string dir = TempDir("merge-samples");
   const GridMeta grid = SmallMeta(GridKind::kConsecutive);

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "src/common/flags.h"
+#include "src/common/retry.h"
 #include "src/store/shard_runner.h"
 
 namespace rc4b {
@@ -23,7 +24,10 @@ namespace {
 int Run(int argc, char** argv) {
   FlagSet flags(
       "Generates one manifest shard (checkpointed, resumable) or a "
-      "full-range reference grid (docs/store.md)");
+      "full-range reference grid (docs/store.md). Exit codes "
+      "(docs/orchestrate.md): 0 ok; 75 retryable (transient I/O, lost "
+      "lease) — rerun the same command; 1 fatal (corrupt input, bad "
+      "provenance) — retrying cannot help.");
   flags.Define("manifest", "grid.manifest", "manifest written by grid_plan")
       .Define("shard", "0", "shard index to run")
       .Define("reference", "",
@@ -47,7 +51,7 @@ int Run(int argc, char** argv) {
   if (IoStatus status = store::ReadManifest(manifest_path, &manifest);
       !status.ok()) {
     std::fprintf(stderr, "grid_gen: %s\n", status.message().c_str());
-    return 1;
+    return ExitCodeForStatus(status);
   }
 
   const unsigned workers = static_cast<unsigned>(flags.GetUint("workers"));
@@ -61,7 +65,7 @@ int Run(int argc, char** argv) {
             store::WriteGridFile(reference, grid.meta, grid.cells);
         !status.ok()) {
       std::fprintf(stderr, "grid_gen: %s\n", status.message().c_str());
-      return 1;
+      return ExitCodeForStatus(status);
     }
     std::printf("wrote %s: full range [%llu, %llu)\n", reference.c_str(),
                 static_cast<unsigned long long>(grid.meta.key_begin),
@@ -81,7 +85,7 @@ int Run(int argc, char** argv) {
                                         options, &result);
       !status.ok()) {
     std::fprintf(stderr, "grid_gen: %s\n", status.message().c_str());
-    return 1;
+    return ExitCodeForStatus(status);
   }
   std::printf(
       "shard %u: %s%s — %llu keys this run, %llu of %llu total\n", shard,

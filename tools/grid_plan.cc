@@ -10,6 +10,7 @@
 #include <string>
 
 #include "src/common/flags.h"
+#include "src/common/retry.h"
 #include "src/store/manifest.h"
 
 namespace rc4b {
@@ -41,7 +42,10 @@ bool ParsePairList(const std::string& text,
 int Run(int argc, char** argv) {
   FlagSet flags(
       "Plans a sharded grid generation: writes the manifest that grid_gen "
-      "workers and grid_merge consume (docs/store.md)");
+      "workers and grid_merge consume (docs/store.md). Exit codes "
+      "(docs/orchestrate.md): 0 ok; 75 retryable (transient I/O) — rerun "
+      "the same command; 1 fatal (bad arguments, corrupt manifest) — "
+      "retrying cannot help.");
   flags.Define("kind", "singlebyte",
                "dataset family: singlebyte | consecutive | pair | "
                "longterm-digraph")
@@ -54,17 +58,58 @@ int Run(int argc, char** argv) {
       .Define("bytes-per-key", "0x1000000", "longterm only: bytes kept per key")
       .Define("shards", "4", "number of independent shards")
       .Define("out", "grid.manifest", "manifest output path")
+      .Define("extend", "false",
+              "grow an existing manifest instead of planning a new one: "
+              "append --shards new shards covering --keys additional keys "
+              "to the manifest at --out (finished shard files and previous "
+              "merges stay valid; see grid_merge --incremental-from)")
       .Define("prefix", "",
               "shard file prefix (default: --out minus its extension)");
   if (!flags.Parse(argc, argv)) {
     return 0;
   }
 
+  if (flags.GetBool("extend")) {
+    const std::string out = flags.GetString("out");
+    std::string prefix = flags.GetString("prefix");
+    if (prefix.empty()) {
+      const size_t dot = out.rfind('.');
+      const size_t slash = out.rfind('/');
+      prefix = (dot != std::string::npos &&
+                (slash == std::string::npos || dot > slash))
+                   ? out.substr(0, dot)
+                   : out;
+    }
+    store::Manifest manifest;
+    if (IoStatus status = store::ReadManifest(out, &manifest); !status.ok()) {
+      std::fprintf(stderr, "grid_plan: %s\n", status.message().c_str());
+      return ExitCodeForStatus(status);
+    }
+    const uint64_t new_end = manifest.grid.key_end + flags.GetUint("keys");
+    if (IoStatus status = store::ExtendManifestPlan(
+            &manifest, new_end,
+            static_cast<uint32_t>(flags.GetUint("shards")), prefix);
+        !status.ok()) {
+      std::fprintf(stderr, "grid_plan: %s\n", status.message().c_str());
+      return ExitCodeForStatus(status);
+    }
+    if (IoStatus status = store::WriteManifest(out, manifest); !status.ok()) {
+      std::fprintf(stderr, "grid_plan: %s\n", status.message().c_str());
+      return ExitCodeForStatus(status);
+    }
+    std::printf("extended %s: key range now [%llu, %llu), %zu shards\n",
+                out.c_str(),
+                static_cast<unsigned long long>(manifest.grid.key_begin),
+                static_cast<unsigned long long>(manifest.grid.key_end),
+                manifest.shards.size());
+    return kExitOk;
+  }
+
   store::GridMeta grid;
   const std::string kind = flags.GetString("kind");
   if (!store::ParseGridKind(kind, &grid.kind)) {
     std::fprintf(stderr, "unknown --kind %s\n", kind.c_str());
-    return 1;
+    return kExitFatal;
   }
   grid.seed = flags.GetUint("seed");
   grid.key_begin = flags.GetUint("first-key");
@@ -77,7 +122,7 @@ int Run(int argc, char** argv) {
     case store::GridKind::kPair:
       if (!ParsePairList(flags.GetString("pairs"), &grid.pairs)) {
         std::fprintf(stderr, "kind pair requires --pairs \"a:b,c:d,...\"\n");
-        return 1;
+        return kExitFatal;
       }
       grid.rows = grid.pairs.size();
       break;
@@ -103,7 +148,7 @@ int Run(int argc, char** argv) {
       grid, static_cast<uint32_t>(flags.GetUint("shards")), prefix);
   if (IoStatus status = store::WriteManifest(out, manifest); !status.ok()) {
     std::fprintf(stderr, "grid_plan: %s\n", status.message().c_str());
-    return 1;
+    return ExitCodeForStatus(status);
   }
 
   std::printf("wrote %s: %s grid, %llu keys [%llu, %llu), %zu shards\n",
@@ -119,7 +164,7 @@ int Run(int argc, char** argv) {
                 static_cast<unsigned long long>(shard.key_end),
                 shard.path.c_str());
   }
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace

@@ -33,7 +33,8 @@ import os
 import re
 import sys
 
-DEFAULT_DIRS = ("src/engine", "src/sim", "src/store", "src/recovery")
+DEFAULT_DIRS = ("src/engine", "src/sim", "src/store", "src/recovery",
+                "src/orchestrate")
 SOURCE_EXTENSIONS = (".h", ".cc")
 
 ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")

@@ -16,6 +16,7 @@
 
 #include "src/common/io.h"
 #include "src/crypto/crc32.h"
+#include "src/orchestrate/lease.h"
 #include "src/rc4/autotune.h"
 #include "src/store/grid_file.h"
 #include "src/store/manifest.h"
@@ -254,6 +255,31 @@ bool EmitAutotuneCorpus(const std::string& dir, const std::string& scratch) {
          WriteRaw(dir + "/empty", "");
 }
 
+bool EmitLeaseCorpus(const std::string& dir) {
+  rc4b::orchestrate::Lease lease;
+  lease.owner = "12345.a2";
+  lease.acquired_ms = 1700000000000;
+  lease.heartbeat_ms = 1700000012000;
+  lease.attempt = 2;
+  const std::string valid = rc4b::orchestrate::FormatLease(lease);
+
+  std::string bad_owner = valid;
+  const size_t owner_at = bad_owner.find("12345.a2");
+  bad_owner.replace(owner_at, std::strlen("12345.a2"), "12 45");
+  std::string huge_number = valid;
+  const size_t beat_at = huge_number.find("1700000012000");
+  huge_number.replace(beat_at, std::strlen("1700000012000"),
+                      "99999999999999999999999999");
+
+  return WriteRaw(dir + "/valid", valid) &&
+         WriteRaw(dir + "/wrong-version", "rc4b-lease 2\n" + valid.substr(13)) &&
+         WriteRaw(dir + "/owner-whitespace", bad_owner) &&
+         WriteRaw(dir + "/overflow-number", huge_number) &&
+         WriteRaw(dir + "/trailing-garbage", valid + "extra\n") &&
+         WriteRaw(dir + "/truncated", valid.substr(0, valid.size() / 2)) &&
+         WriteRaw(dir + "/empty", "");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -265,7 +291,7 @@ int main(int argc, char** argv) {
   const std::string scratch = out + "/.scratch";
   for (const char* target :
        {"fuzz_grid_file", "fuzz_manifest", "fuzz_checkpoint_resume",
-        "fuzz_autotune_cache"}) {
+        "fuzz_autotune_cache", "fuzz_lease"}) {
     if (!rc4b::MakeDirs(out + "/" + target).ok()) {
       std::fprintf(stderr, "cannot create %s/%s\n", out.c_str(), target);
       return 1;
@@ -278,7 +304,8 @@ int main(int argc, char** argv) {
       EmitGridFileCorpus(out + "/fuzz_grid_file", scratch) &&
       EmitManifestCorpus(out + "/fuzz_manifest", scratch) &&
       EmitCheckpointCorpus(out + "/fuzz_checkpoint_resume", scratch) &&
-      EmitAutotuneCorpus(out + "/fuzz_autotune_cache", scratch);
+      EmitAutotuneCorpus(out + "/fuzz_autotune_cache", scratch) &&
+      EmitLeaseCorpus(out + "/fuzz_lease");
   if (!ok) {
     std::fprintf(stderr, "corpus generation failed\n");
     return 1;
